@@ -1,0 +1,95 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! * **D1** — incremental sorted structure (`SortedPolicy`, `O(log n)`
+//!   per update) vs. full re-sort at each victim selection
+//!   (`ResortPolicy`, `O(n)` scan per eviction). Validates the paper's
+//!   section 1.3 claim that maintained-sorted-list removal is cheap.
+//! * **D2** — eviction loop granularity: the default one-victim-at-a-time
+//!   loop vs. artificially large incoming documents that force long
+//!   eviction bursts (the worst case for per-victim overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use webcache_bench::ResortPolicy;
+use webcache_core::cache::Cache;
+use webcache_core::policy::{Key, KeySpec, RemovalPolicy, SortedPolicy};
+use webcache_trace::{ClientId, DocType, Request, ServerId, UrlId};
+
+fn mk_request(i: u64, universe: u64, size_base: u64) -> Request {
+    let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Request {
+        time: i,
+        client: ClientId(0),
+        server: ServerId(0),
+        url: UrlId((h % universe) as u32),
+        size: size_base + (h >> 32) % (4 * size_base),
+        doc_type: DocType::Text,
+        last_modified: None,
+    }
+}
+
+fn drive(policy: Box<dyn RemovalPolicy>, ops: u64, capacity: u64) -> usize {
+    let mut cache = Cache::new(capacity, policy);
+    for i in 0..ops {
+        cache.request(&mk_request(i, 30_000, 1_000));
+    }
+    cache.len()
+}
+
+fn bench_d1(c: &mut Criterion) {
+    const OPS: u64 = 10_000;
+    // ~20% of the hot set fits: constant eviction pressure.
+    const CAPACITY: u64 = 15_000_000;
+    let mut group = c.benchmark_group("ablation_d1_sorted_vs_resort");
+    group.throughput(Throughput::Elements(OPS));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for key in [Key::Size, Key::AccessTime, Key::NRef] {
+        let spec = KeySpec::primary(key);
+        group.bench_function(format!("incremental_{}", key.label()), |b| {
+            b.iter(|| drive(Box::new(SortedPolicy::new(spec)), OPS, CAPACITY))
+        });
+        group.bench_function(format!("resort_{}", key.label()), |b| {
+            b.iter(|| drive(Box::new(ResortPolicy::new(spec)), OPS, CAPACITY))
+        });
+    }
+    group.finish();
+}
+
+fn bench_d2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_d2_eviction_burst");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    // Fill with many small docs, then repeatedly insert one huge doc that
+    // evicts thousands of them — the worst case for the one-at-a-time
+    // victim loop.
+    group.bench_function("burst_evictions", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(
+                12_000_000,
+                Box::new(SortedPolicy::new(KeySpec::primary(Key::AccessTime))),
+            );
+            for i in 0..10_000u64 {
+                cache.request(&mk_request(i, 100_000, 500));
+            }
+            // Ten 8 MB documents, each displacing ~6000 small ones.
+            for j in 0..10u64 {
+                cache.request(&Request {
+                    time: 20_000 + j,
+                    client: ClientId(0),
+                    server: ServerId(0),
+                    url: UrlId(1_000_000 + j as u32),
+                    size: 8_000_000,
+                    doc_type: DocType::Video,
+                    last_modified: None,
+                });
+            }
+            cache.stats().evictions
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_d1, bench_d2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment 1 (Figs. 3-7): infinite-cache simulation of each workload.
+//! Measures the cost of regenerating one figure and reports MaxNeeded as
+//! a side effect so `cargo bench` output doubles as a results record.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use webcache_bench::bench_trace;
+use webcache_core::sim::simulate_infinite;
+
+const SCALE: f64 = 0.05;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp1_infinite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for workload in ["U", "G", "C", "BR", "BL"] {
+        let trace = bench_trace(workload, SCALE);
+        let res = simulate_infinite(&trace);
+        let s = res.stream("cache").expect("cache stream");
+        println!(
+            "[exp1] {workload}: {} requests, HR {:.2}%, WHR {:.2}%, MaxNeeded {:.1} MB (scale {SCALE})",
+            s.total.requests,
+            s.total.hit_rate() * 100.0,
+            s.total.weighted_hit_rate() * 100.0,
+            res.gauge("max_used").unwrap() as f64 / 1e6,
+        );
+        group.bench_function(workload, |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| simulate_infinite(&t),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

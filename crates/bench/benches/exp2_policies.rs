@@ -1,0 +1,56 @@
+//! Experiment 2 (Figs. 8-12): finite-cache simulation per primary key.
+//! One bench per plotted key; printed lines record the HR each key
+//! reaches as a fraction of the infinite cache (the figures' y-axis).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use webcache_bench::bench_trace;
+use webcache_core::policy::{Key, KeySpec, SortedPolicy};
+use webcache_core::sim::{max_needed, simulate_infinite, simulate_policy};
+
+const SCALE: f64 = 0.05;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_policies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let trace = bench_trace("BL", SCALE);
+    let capacity = max_needed(&trace) / 10;
+    let inf_hr = simulate_infinite(&trace)
+        .stream("cache")
+        .expect("stream")
+        .total
+        .hit_rate();
+    for key in [
+        Key::Size,
+        Key::Log2Size,
+        Key::EntryTime,
+        Key::AccessTime,
+        Key::DayOfAccess,
+        Key::NRef,
+    ] {
+        let spec = KeySpec::primary(key);
+        let hr = simulate_policy(&trace, capacity, Box::new(SortedPolicy::new(spec)))
+            .stream("cache")
+            .expect("stream")
+            .total
+            .hit_rate();
+        println!(
+            "[exp2] BL@{SCALE} 10% cache, {}: HR {:.2}% = {:.1}% of infinite",
+            key.label(),
+            hr * 100.0,
+            100.0 * hr / inf_hr
+        );
+        group.bench_function(key.label(), |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| simulate_policy(&t, capacity, Box::new(SortedPolicy::new(spec))),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

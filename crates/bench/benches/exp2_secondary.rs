@@ -1,0 +1,63 @@
+//! Fig. 15: secondary-key study — primary ⌊log₂ SIZE⌋ on workload G with
+//! each Table 1 secondary key, measured against the random secondary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use webcache_bench::bench_trace;
+use webcache_core::policy::{Key, KeySpec, SortedPolicy};
+use webcache_core::sim::{max_needed, simulate_policy};
+
+const SCALE: f64 = 0.05;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp2_secondary");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let trace = bench_trace("G", SCALE);
+    let capacity = max_needed(&trace) / 10;
+    let whr_of = |secondary| {
+        simulate_policy(
+            &trace,
+            capacity,
+            Box::new(SortedPolicy::new(KeySpec::pair(Key::Log2Size, secondary))),
+        )
+        .stream("cache")
+        .expect("stream")
+        .total
+        .weighted_hit_rate()
+    };
+    let random = whr_of(Key::Random);
+    for secondary in [
+        Key::Random,
+        Key::Size,
+        Key::AccessTime,
+        Key::EntryTime,
+        Key::NRef,
+        Key::DayOfAccess,
+    ] {
+        let whr = whr_of(secondary);
+        println!(
+            "[fig15] G@{SCALE} LOG2(SIZE)+{}: WHR {:.2}% = {:.1}% of random secondary",
+            secondary.label(),
+            whr * 100.0,
+            100.0 * whr / random
+        );
+        group.bench_function(secondary.label(), |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| {
+                    simulate_policy(
+                        &t,
+                        capacity,
+                        Box::new(SortedPolicy::new(KeySpec::pair(Key::Log2Size, secondary))),
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment 3 (Figs. 16-18): two-level hierarchy — SIZE L1 at 10% of
+//! MaxNeeded backed by an infinite L2, per workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use webcache_bench::bench_trace;
+use webcache_core::cache::multilevel::TwoLevelCache;
+use webcache_core::cache::Cache;
+use webcache_core::policy::{named, NeverEvict};
+use webcache_core::sim::{max_needed, simulate};
+
+const SCALE: f64 = 0.05;
+
+fn run(trace: &webcache_trace::Trace, l1_cap: u64) -> webcache_core::sim::SimResult {
+    let mut system = TwoLevelCache::new(
+        Cache::new(l1_cap, Box::new(named::size())),
+        Cache::infinite(Box::new(NeverEvict::new())),
+    );
+    simulate(trace, &mut system, "two-level")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp3_twolevel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for workload in ["BR", "C", "G"] {
+        let trace = bench_trace(workload, SCALE);
+        let l1_cap = max_needed(&trace) / 10;
+        let res = run(&trace, l1_cap);
+        let l2 = res.stream("l2").expect("l2").total;
+        println!(
+            "[exp3] {workload}@{SCALE}: L2 over all requests HR {:.2}% WHR {:.2}%",
+            l2.hit_rate() * 100.0,
+            l2.weighted_hit_rate() * 100.0
+        );
+        group.bench_function(workload, |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| run(&t, l1_cap),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

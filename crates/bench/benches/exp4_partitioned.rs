@@ -1,0 +1,47 @@
+//! Experiment 4 (Figs. 19-20): the partitioned cache on workload BR with
+//! audio shares ¼, ½ and ¾.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use webcache_bench::bench_trace;
+use webcache_core::cache::partitioned::PartitionedCache;
+use webcache_core::policy::named;
+use webcache_core::sim::{max_needed, simulate};
+
+const SCALE: f64 = 0.05;
+
+fn run(trace: &webcache_trace::Trace, capacity: u64, frac: f64) -> webcache_core::sim::SimResult {
+    let mut system =
+        PartitionedCache::audio_split(capacity, frac, || Box::new(named::size()));
+    simulate(trace, &mut system, "partitioned")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_partitioned");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let trace = bench_trace("BR", SCALE);
+    let capacity = max_needed(&trace) / 10;
+    for frac in [0.25, 0.5, 0.75] {
+        let res = run(&trace, capacity, frac);
+        let audio = res.stream("audio").expect("audio").total;
+        let non = res.stream("non-audio").expect("non-audio").total;
+        println!(
+            "[exp4] BR@{SCALE} audio share {:.0}%: audio WHR {:.2}% | non-audio WHR {:.2}% (over all requests)",
+            frac * 100.0,
+            audio.weighted_hit_rate() * 100.0,
+            non.weighted_hit_rate() * 100.0
+        );
+        group.bench_function(format!("audio_{:.0}pct", frac * 100.0), |b| {
+            b.iter_batched(
+                || trace.clone(),
+                |t| run(&t, capacity, frac),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

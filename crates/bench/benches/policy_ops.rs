@@ -1,0 +1,69 @@
+//! Microbenchmarks of per-operation policy cost: the request-handling hot
+//! path (lookup + policy update) and victim selection, for each policy
+//! family. These underpin the paper's section 1.3 argument that on-demand
+//! removal from a maintained sorted list is cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use webcache_core::cache::Cache;
+use webcache_core::policy::{named, RemovalPolicy};
+use webcache_trace::{ClientId, DocType, Request, ServerId, UrlId};
+
+fn mk_request(i: u64, universe: u64) -> Request {
+    // Deterministic pseudo-random URL and size.
+    let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Request {
+        time: i,
+        client: ClientId(0),
+        server: ServerId(0),
+        url: UrlId((h % universe) as u32),
+        size: 200 + (h >> 32) % 8_000,
+        doc_type: DocType::Text,
+        last_modified: None,
+    }
+}
+
+fn policies() -> Vec<(&'static str, fn() -> Box<dyn RemovalPolicy>)> {
+    vec![
+        ("FIFO", || Box::new(named::fifo())),
+        ("LRU", || Box::new(named::lru())),
+        ("LFU", || Box::new(named::lfu())),
+        ("SIZE", || Box::new(named::size())),
+        ("HYPER-G", || Box::new(named::hyper_g())),
+        ("LRU-MIN", || Box::new(webcache_core::policy::LruMin::new())),
+        ("PITKOW-RECKER", || {
+            Box::new(webcache_core::policy::PitkowRecker::default())
+        }),
+        ("GD-SIZE", || {
+            Box::new(webcache_core::policy::GreedyDualSize::new())
+        }),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    const OPS: u64 = 20_000;
+    const UNIVERSE: u64 = 40_000;
+    // Capacity forces steady-state eviction pressure (~25% of the working
+    // set fits).
+    const CAPACITY: u64 = 40_000_000;
+
+    let mut group = c.benchmark_group("policy_ops");
+    group.throughput(Throughput::Elements(OPS));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (name, make) in policies() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache = Cache::new(CAPACITY, make());
+                for i in 0..OPS {
+                    cache.request(&mk_request(i, UNIVERSE));
+                }
+                cache.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

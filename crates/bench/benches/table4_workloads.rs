@@ -1,0 +1,82 @@
+//! Table 4 / Figs. 1-2 / Figs. 13-14: workload generation plus the
+//! characterisation analyses. Measures the generator and each analysis;
+//! prints the realised Table 4 row for the benched workload and the Zipf
+//! fit behind Fig. 1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use webcache_bench::bench_trace;
+use webcache_trace::stats as tstats;
+use webcache_workload::{generate, profiles};
+
+const SCALE: f64 = 0.05;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_workloads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    // Generator cost, per workload (the substrate behind every figure).
+    for workload in ["U", "G", "C", "BR", "BL"] {
+        let profile = profiles::by_name(workload).expect("known").scaled(SCALE);
+        group.bench_function(format!("generate_{workload}"), |b| {
+            b.iter(|| generate(&profile, 2024))
+        });
+    }
+
+    // Characterisation analyses on BL (the workload the paper plots).
+    let trace = bench_trace("BL", SCALE);
+    let mix = tstats::TypeMix::of(&trace);
+    for (t, share) in mix.rows() {
+        println!(
+            "[table4] BL@{SCALE} {}: {:.2}% refs, {:.2}% bytes",
+            t.label(),
+            share.refs * 100.0,
+            share.bytes * 100.0
+        );
+    }
+    let ranks = tstats::server_request_ranks(&trace);
+    if let Some(fit) = webcache_stats::zipf::fit(&ranks) {
+        println!(
+            "[fig1] BL@{SCALE}: {} servers, requests ∝ rank^-{:.2} (R² {:.3})",
+            ranks.len(),
+            fit.alpha,
+            fit.r_squared
+        );
+    }
+    group.bench_function("table4_typemix", |b| {
+        b.iter_batched(|| trace.clone(), |t| tstats::TypeMix::of(&t), BatchSize::LargeInput)
+    });
+    group.bench_function("fig1_server_ranks", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| tstats::server_request_ranks(&t),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("fig2_url_byte_ranks", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| tstats::url_byte_ranks(&t),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("fig13_histogram", |b| {
+        b.iter_batched(
+            || tstats::request_sizes(&trace),
+            |sizes| webcache_stats::Histogram::linear(&sizes, 500, 20_000),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("fig14_scatter", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| tstats::size_vs_interreference(&t),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,578 @@
+//! The proxy cache itself: document store, space accounting, and the
+//! request-handling semantics of section 1.1 of the paper.
+//!
+//! A [`Cache`] owns a [`RemovalPolicy`](crate::policy::RemovalPolicy) and
+//! applies the paper's hit definition: a request hits iff the cache holds a
+//! copy with the *same URL and the same size*. A re-reference with a
+//! different size means the origin document was modified, so the stale copy
+//! is invalidated and the request is a miss.
+
+pub mod multilevel;
+pub mod partitioned;
+
+use crate::policy::RemovalPolicy;
+use serde::{Deserialize, Serialize};
+use webcache_trace::{day_of, DocType, Request, Timestamp, UrlId};
+
+/// Metadata the cache keeps per resident document — exactly the quantities
+/// the Table 1 sorting keys consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocMeta {
+    /// The document's URL.
+    pub url: UrlId,
+    /// Size in bytes (`SIZE`).
+    pub size: u64,
+    /// Media type.
+    pub doc_type: DocType,
+    /// Time the document entered the cache (`ETIME`).
+    pub entry_time: Timestamp,
+    /// Time of last access (`ATIME`).
+    pub last_access: Timestamp,
+    /// Number of references since entry (`NREF`); counts the insertion.
+    pub nrefs: u64,
+    /// Optional expiry time (extension key `EXPIRY`, Harvest style).
+    pub expires: Option<Timestamp>,
+    /// Estimated refetch latency in milliseconds (extension key `LATENCY`).
+    pub refetch_latency_ms: u64,
+    /// Removal priority of the document's type (extension key `DOCTYPE`);
+    /// lower values are removed first.
+    pub type_priority: u8,
+    /// `Last-Modified` as reported by the origin, when known.
+    pub last_modified: Option<Timestamp>,
+}
+
+/// Default type-removal priority for the `DOCTYPE` extension key: large
+/// continuous media are removed first and text last, so that text documents
+/// (the majority of references) stay cached and see low latency.
+pub fn default_type_priority(t: DocType) -> u8 {
+    match t {
+        DocType::Audio => 0,
+        DocType::Video => 1,
+        DocType::Unknown => 2,
+        DocType::Cgi => 3,
+        DocType::Graphics => 4,
+        DocType::Text => 5,
+    }
+}
+
+/// Hook that lets callers enrich [`DocMeta`] at insertion time (set
+/// expiries, refetch-latency estimates, or a custom type priority).
+pub type MetaDecorator = fn(&Request, &mut DocMeta);
+
+/// What happened to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// URL present with matching size: served from cache.
+    Hit,
+    /// URL absent: fetched from origin and inserted, possibly after
+    /// removing the listed victims.
+    Miss {
+        /// Documents removed to make room, in removal order, with their
+        /// full metadata (so hierarchies can push them to a lower level).
+        evicted: Vec<DocMeta>,
+    },
+    /// URL present but with a different size: the document was modified at
+    /// the origin. The stale copy was invalidated; counts as a miss.
+    MissModified {
+        /// Documents removed to make room for the new version.
+        evicted: Vec<DocMeta>,
+    },
+    /// The document is larger than the whole cache; fetched but not stored
+    /// (design decision D4 in DESIGN.md).
+    MissTooBig,
+}
+
+impl Outcome {
+    /// True for any hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Outcome::Hit)
+    }
+}
+
+/// Cumulative request counters; the minimal set from which HR and WHR are
+/// computed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    /// Requests seen.
+    pub requests: u64,
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Bytes requested (sum of document sizes over all requests).
+    pub bytes_requested: u64,
+    /// Bytes served from cache.
+    pub bytes_hit: u64,
+}
+
+impl Counts {
+    /// Hit rate: fraction of requests served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Weighted hit rate: fraction of requested bytes served from cache.
+    pub fn weighted_hit_rate(&self) -> f64 {
+        if self.bytes_requested == 0 {
+            0.0
+        } else {
+            self.bytes_hit as f64 / self.bytes_requested as f64
+        }
+    }
+
+    /// Counter difference (`self - earlier`), for per-day deltas.
+    pub fn delta(&self, earlier: &Counts) -> Counts {
+        Counts {
+            requests: self.requests - earlier.requests,
+            hits: self.hits - earlier.hits,
+            bytes_requested: self.bytes_requested - earlier.bytes_requested,
+            bytes_hit: self.bytes_hit - earlier.bytes_hit,
+        }
+    }
+}
+
+/// Full cache statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Request counters.
+    pub counts: Counts,
+    /// Documents evicted on demand.
+    pub evictions: u64,
+    /// Bytes evicted on demand.
+    pub evicted_bytes: u64,
+    /// Documents evicted by a periodic (end-of-day) policy run.
+    pub periodic_evictions: u64,
+    /// Stale copies invalidated because the document size changed.
+    pub modified_invalidations: u64,
+    /// Misses where the document exceeded the cache capacity entirely.
+    pub too_big: u64,
+    /// High-water mark of resident bytes ("maximum cache size needed
+    /// during the simulation", a response variable of every experiment).
+    pub max_used: u64,
+}
+
+/// A single-level proxy cache with a pluggable removal policy.
+pub struct Cache {
+    capacity: u64,
+    used: u64,
+    docs: std::collections::HashMap<UrlId, DocMeta>,
+    policy: Box<dyn RemovalPolicy>,
+    stats: CacheStats,
+    decorator: Option<MetaDecorator>,
+    current_day: u64,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used)
+            .field("docs", &self.docs.len())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Create a cache of `capacity` bytes using `policy` for removal.
+    pub fn new(capacity: u64, policy: Box<dyn RemovalPolicy>) -> Cache {
+        Cache {
+            capacity,
+            used: 0,
+            docs: std::collections::HashMap::new(),
+            policy,
+            stats: CacheStats::default(),
+            decorator: None,
+            current_day: 0,
+        }
+    }
+
+    /// Create an unbounded cache (Experiment 1: "simulating an infinite
+    /// size cache"). Its `max_used` at the end of a simulation is the
+    /// paper's *MaxNeeded*.
+    pub fn infinite(policy: Box<dyn RemovalPolicy>) -> Cache {
+        Cache::new(u64::MAX, policy)
+    }
+
+    /// Attach a [`MetaDecorator`] that enriches metadata at insert time.
+    pub fn with_decorator(mut self, d: MetaDecorator) -> Cache {
+        self.decorator = Some(d);
+        self
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are resident.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Cumulative request counters (HR/WHR inputs).
+    pub fn counts(&self) -> Counts {
+        self.stats.counts
+    }
+
+    /// The removal policy's display name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Is this document resident (regardless of size/version)?
+    pub fn contains(&self, url: UrlId) -> bool {
+        self.docs.contains_key(&url)
+    }
+
+    /// Metadata of a resident document.
+    pub fn meta(&self, url: UrlId) -> Option<&DocMeta> {
+        self.docs.get(&url)
+    }
+
+    /// Position of a resident document in the policy's removal order
+    /// (0 = next victim), when the policy exposes one. Appendix A's
+    /// "location in sorted list of each URL hit".
+    pub fn removal_position(&self, url: UrlId) -> Option<usize> {
+        self.policy.removal_position(url)
+    }
+
+    /// Iterate over resident documents (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &DocMeta> {
+        self.docs.values()
+    }
+
+    /// Handle one client request per the section 1.1 semantics.
+    pub fn request(&mut self, r: &Request) -> Outcome {
+        self.advance_time(r.time);
+        self.stats.counts.requests += 1;
+        self.stats.counts.bytes_requested += r.size;
+
+        if let Some(meta) = self.docs.get_mut(&r.url) {
+            if meta.size == r.size {
+                // Hit: same URL, same size.
+                meta.last_access = r.time;
+                meta.nrefs += 1;
+                let snapshot = *meta;
+                self.policy.on_access(&snapshot);
+                self.stats.counts.hits += 1;
+                self.stats.counts.bytes_hit += r.size;
+                return Outcome::Hit;
+            }
+            // Modified at origin: invalidate the stale copy.
+            self.remove(r.url);
+            self.stats.modified_invalidations += 1;
+            let evicted = self.insert(r);
+            return match evicted {
+                Some(evicted) => Outcome::MissModified { evicted },
+                None => Outcome::MissTooBig,
+            };
+        }
+        match self.insert(r) {
+            Some(evicted) => Outcome::Miss { evicted },
+            None => Outcome::MissTooBig,
+        }
+    }
+
+    /// Remove a document by URL (used for invalidation and by multi-level
+    /// coordination). Returns its metadata if it was resident.
+    pub fn remove(&mut self, url: UrlId) -> Option<DocMeta> {
+        let meta = self.docs.remove(&url)?;
+        self.used -= meta.size;
+        self.policy.on_remove(url);
+        Some(meta)
+    }
+
+    /// Insert the document named by `r`, evicting until it fits. Returns
+    /// the eviction list, or `None` when the document exceeds capacity and
+    /// was not stored.
+    fn insert(&mut self, r: &Request) -> Option<Vec<DocMeta>> {
+        if r.size > self.capacity {
+            self.stats.too_big += 1;
+            return None;
+        }
+        let mut evicted = Vec::new();
+        while self.used + r.size > self.capacity {
+            let victim = self
+                .policy
+                .victim(r.time, r.size)
+                .expect("cache is over capacity but the policy offered no victim");
+            let meta = self
+                .docs
+                .remove(&victim)
+                .expect("policy returned a victim that is not resident");
+            self.used -= meta.size;
+            self.policy.on_remove(victim);
+            self.stats.evictions += 1;
+            self.stats.evicted_bytes += meta.size;
+            evicted.push(meta);
+        }
+        let mut meta = DocMeta {
+            url: r.url,
+            size: r.size,
+            doc_type: r.doc_type,
+            entry_time: r.time,
+            last_access: r.time,
+            nrefs: 1,
+            expires: None,
+            refetch_latency_ms: 0,
+            type_priority: default_type_priority(r.doc_type),
+            last_modified: r.last_modified,
+        };
+        if let Some(d) = self.decorator {
+            d(r, &mut meta);
+        }
+        self.used += meta.size;
+        self.stats.max_used = self.stats.max_used.max(self.used);
+        self.docs.insert(r.url, meta);
+        self.policy.on_insert(&meta);
+        Some(evicted)
+    }
+
+    /// Insert a document directly from its metadata, evicting to fit.
+    /// Used by the two-level cache to push L1 evictions down into L2.
+    /// Returns `false` when the document exceeds capacity.
+    pub fn insert_meta(&mut self, mut meta: DocMeta) -> bool {
+        if meta.size > self.capacity {
+            return false;
+        }
+        if let Some(old) = self.docs.remove(&meta.url) {
+            self.used -= old.size;
+            self.policy.on_remove(meta.url);
+        }
+        while self.used + meta.size > self.capacity {
+            let victim = self
+                .policy
+                .victim(meta.last_access, meta.size)
+                .expect("cache is over capacity but the policy offered no victim");
+            let v = self.docs.remove(&victim).expect("victim not resident");
+            self.used -= v.size;
+            self.policy.on_remove(victim);
+            self.stats.evictions += 1;
+            self.stats.evicted_bytes += v.size;
+        }
+        // A pushed-down document keeps its history but is re-entered now.
+        meta.entry_time = meta.last_access;
+        self.used += meta.size;
+        self.stats.max_used = self.stats.max_used.max(self.used);
+        self.docs.insert(meta.url, meta);
+        self.policy.on_insert(&meta);
+        true
+    }
+
+    /// Observe the passage of time. On a day boundary, run the policy's
+    /// periodic removal (Pitkow/Recker's end-of-day purge) if it requests
+    /// one.
+    pub fn advance_time(&mut self, now: Timestamp) {
+        let day = day_of(now);
+        while self.current_day < day {
+            self.current_day += 1;
+            let boundary = self.current_day * webcache_trace::SECONDS_PER_DAY;
+            if let Some(target) =
+                self.policy
+                    .periodic_target(boundary, self.used, self.capacity)
+            {
+                while self.used > target {
+                    let Some(victim) = self.policy.victim(boundary, 0) else {
+                        break;
+                    };
+                    let meta = self.docs.remove(&victim).expect("victim not resident");
+                    self.used -= meta.size;
+                    self.policy.on_remove(victim);
+                    self.stats.periodic_evictions += 1;
+                    self.stats.evicted_bytes += meta.size;
+                }
+            }
+        }
+    }
+
+    /// Internal consistency check used by tests: accounted bytes equal the
+    /// sum of resident sizes, within capacity, and the policy tracks
+    /// exactly the resident set.
+    pub fn check_invariants(&self) {
+        let sum: u64 = self.docs.values().map(|m| m.size).sum();
+        assert_eq!(sum, self.used, "used-bytes accounting drifted");
+        assert!(self.used <= self.capacity, "cache exceeds capacity");
+        assert_eq!(
+            self.policy.len(),
+            self.docs.len(),
+            "policy tracks a different document set than the cache"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::named;
+    use crate::policy::{Key, KeySpec, SortedPolicy};
+    use webcache_trace::{ClientId, DocType, ServerId};
+
+    pub(crate) fn req(time: u64, url: u32, size: u64) -> Request {
+        Request {
+            time,
+            client: ClientId(0),
+            server: ServerId(0),
+            url: UrlId(url),
+            size,
+            doc_type: DocType::Text,
+            last_modified: None,
+        }
+    }
+
+    fn lru_cache(capacity: u64) -> Cache {
+        Cache::new(capacity, Box::new(named::lru()))
+    }
+
+    /// URLs evicted by a miss outcome, in removal order.
+    fn evicted_urls(out: &Outcome) -> Vec<UrlId> {
+        match out {
+            Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
+                evicted.iter().map(|m| m.url).collect()
+            }
+            _ => panic!("expected a miss with evictions, got {out:?}"),
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_size() {
+        let mut c = lru_cache(100);
+        assert!(matches!(c.request(&req(0, 1, 10)), Outcome::Miss { .. }));
+        assert!(c.request(&req(1, 1, 10)).is_hit());
+        // Same URL, new size: modified document, miss + invalidation.
+        let out = c.request(&req(2, 1, 20));
+        assert!(matches!(out, Outcome::MissModified { .. }));
+        assert_eq!(c.stats().modified_invalidations, 1);
+        assert_eq!(c.used(), 20);
+        // And the new version now hits.
+        assert!(c.request(&req(3, 1, 20)).is_hit());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn eviction_frees_exactly_enough() {
+        let mut c = lru_cache(30);
+        c.request(&req(0, 1, 10));
+        c.request(&req(1, 2, 10));
+        c.request(&req(2, 3, 10));
+        // Full. A 10-byte doc evicts exactly the LRU doc (url 1).
+        let out = c.request(&req(3, 4, 10));
+        assert_eq!(evicted_urls(&out), vec![UrlId(1)]);
+        assert!(!c.contains(UrlId(1)));
+        assert_eq!(c.used(), 30);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn lru_touch_protects_recently_used() {
+        let mut c = lru_cache(30);
+        c.request(&req(0, 1, 10));
+        c.request(&req(1, 2, 10));
+        c.request(&req(2, 3, 10));
+        c.request(&req(3, 1, 10)); // touch 1, so 2 becomes LRU
+        let out = c.request(&req(4, 4, 10));
+        assert_eq!(evicted_urls(&out), vec![UrlId(2)]);
+    }
+
+    #[test]
+    fn too_big_documents_are_not_stored() {
+        let mut c = lru_cache(100);
+        c.request(&req(0, 1, 10));
+        let out = c.request(&req(1, 2, 500));
+        assert_eq!(out, Outcome::MissTooBig);
+        assert!(!c.contains(UrlId(2)));
+        assert!(c.contains(UrlId(1)), "existing contents are not purged");
+        assert_eq!(c.stats().too_big, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn counters_track_hr_and_whr() {
+        let mut c = lru_cache(1000);
+        c.request(&req(0, 1, 100));
+        c.request(&req(1, 1, 100));
+        c.request(&req(2, 2, 300));
+        let n = c.counts();
+        assert_eq!(n.requests, 3);
+        assert_eq!(n.hits, 1);
+        assert!((n.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((n.weighted_hit_rate() - 100.0 / 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_cache_never_evicts_and_tracks_max_needed() {
+        let mut c = Cache::infinite(Box::new(named::lru()));
+        for i in 0..100 {
+            c.request(&req(i, i as u32, 1000));
+        }
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.stats().max_used, 100_000);
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn size_policy_evicts_largest_first() {
+        let mut c = Cache::new(
+            100,
+            Box::new(SortedPolicy::new(KeySpec::primary(Key::Size))),
+        );
+        c.request(&req(0, 1, 50));
+        c.request(&req(1, 2, 30));
+        c.request(&req(2, 3, 20));
+        // Needs 10 bytes: SIZE removes the largest document (url 1, 50B).
+        let out = c.request(&req(3, 4, 10));
+        assert_eq!(evicted_urls(&out), vec![UrlId(1)]);
+        assert_eq!(c.used(), 60);
+    }
+
+    #[test]
+    fn max_used_high_water_mark() {
+        let mut c = lru_cache(100);
+        c.request(&req(0, 1, 80));
+        c.request(&req(1, 2, 90)); // evicts 1
+        assert_eq!(c.stats().max_used, 90);
+        assert_eq!(c.used(), 90);
+    }
+
+    #[test]
+    fn remove_returns_meta_and_updates_accounting() {
+        let mut c = lru_cache(100);
+        c.request(&req(5, 1, 40));
+        let meta = c.remove(UrlId(1)).unwrap();
+        assert_eq!(meta.size, 40);
+        assert_eq!(meta.entry_time, 5);
+        assert_eq!(c.used(), 0);
+        assert!(c.remove(UrlId(1)).is_none());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn decorator_enriches_meta() {
+        fn ttl(_r: &Request, m: &mut DocMeta) {
+            m.expires = Some(m.entry_time + 60);
+            m.refetch_latency_ms = 250;
+        }
+        let mut c = Cache::new(100, Box::new(named::lru())).with_decorator(ttl);
+        c.request(&req(10, 1, 5));
+        let m = c.meta(UrlId(1)).unwrap();
+        assert_eq!(m.expires, Some(70));
+        assert_eq!(m.refetch_latency_ms, 250);
+    }
+}

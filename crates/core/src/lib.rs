@@ -1,0 +1,55 @@
+//! # webcache-core
+//!
+//! The primary contribution of Williams, Abrams, Standridge, Abdulla & Fox,
+//! *Removal Policies in Network Caches for World-Wide Web Documents*
+//! (SIGCOMM 1996), as a reusable library:
+//!
+//! * [`policy`] — the sorting-key taxonomy of removal policies (Table 1,
+//!   all 36 primary/secondary combinations) plus the literature policies it
+//!   subsumes (FIFO, LRU, LFU, Hyper-G) and the two it approximates but
+//!   which are implemented exactly here (LRU-MIN, Pitkow/Recker), and the
+//!   GreedyDual-Size extension.
+//! * [`cache`] — the proxy cache with the paper's hit semantics
+//!   (hit = URL + size match), plus two-level hierarchies and media-type
+//!   partitioned caches.
+//! * [`sim`] — the trace-driven simulator producing the per-day HR/WHR
+//!   streams every figure of the paper's evaluation is built from.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use webcache_core::policy::named;
+//! use webcache_trace::{Trace, RawRequest};
+//!
+//! let raws: Vec<RawRequest> = (0..100)
+//!     .map(|i| RawRequest {
+//!         time: i,
+//!         client: "c".into(),
+//!         url: format!("http://server/doc{}.html", i % 10),
+//!         status: 200,
+//!         size: 1000 + (i % 10) * 100,
+//!         last_modified: None,
+//!     })
+//!     .collect();
+//! let trace = Trace::from_raw("demo", &raws);
+//!
+//! // SIZE beats-or-ties LRU on hit rate at a starved cache size — the
+//! // paper's headline result.
+//! let size = webcache_core::sim::simulate_policy(&trace, 4000, Box::new(named::size()));
+//! let lru = webcache_core::sim::simulate_policy(&trace, 4000, Box::new(named::lru()));
+//! let (s, l) = (
+//!     size.stream("cache").unwrap().total.hit_rate(),
+//!     lru.stream("cache").unwrap().total.hit_rate(),
+//! );
+//! assert!(s >= l);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod policy;
+pub mod sim;
+
+pub use cache::{Cache, CacheStats, Counts, DocMeta, Outcome};
+pub use policy::{Key, KeySpec, RemovalPolicy, SortedPolicy};
+pub use sim::{simulate, simulate_infinite, simulate_policy, CacheSystem, SimResult};

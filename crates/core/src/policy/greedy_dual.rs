@@ -1,0 +1,213 @@
+//! GreedyDual-Size (Cao & Irani, USENIX 1997) — an extension beyond the
+//! paper.
+//!
+//! The paper's conclusion that plain `SIZE` maximises hit rate while
+//! penalising weighted hit rate directly motivated GreedyDual-Size, the
+//! next step in this literature. It assigns each document a value
+//! `H = L + cost/size` (here `cost = 1`, the "GDS(1)" hit-rate variant);
+//! the document with minimum `H` is evicted and its `H` becomes the new
+//! inflation level `L`. With `cost = size` it degenerates toward LRU; with
+//! `cost = 1` it blends SIZE with an aging mechanism.
+//!
+//! Including it lets the benchmarks show how the 1996 taxonomy's best key
+//! (SIZE) compares with its 1997 successor on the same workloads.
+
+use crate::cache::DocMeta;
+use crate::policy::RemovalPolicy;
+use std::collections::{BTreeSet, HashMap};
+use webcache_trace::{Timestamp, UrlId};
+
+/// Cost model for GreedyDual-Size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GdCost {
+    /// Every document costs 1 to fetch: maximises hit rate.
+    Uniform,
+    /// A document costs its size: maximises weighted hit rate (byte cost).
+    Bytes,
+}
+
+/// `H` values are stored as integer-scaled fixed point so the ordering set
+/// is total and hash-free. 2^20 fractional bits keeps `1/size` distinct for
+/// sizes up to a megabyte and degrades gracefully above.
+const FRAC_BITS: u32 = 20;
+
+/// The GreedyDual-Size removal policy.
+#[derive(Debug, Clone)]
+pub struct GreedyDualSize {
+    cost: GdCost,
+    /// Current inflation value `L` (fixed point).
+    inflation: u64,
+    /// Docs ordered by ascending `H` (fixed point).
+    order: BTreeSet<(u64, UrlId)>,
+    values: HashMap<UrlId, u64>,
+}
+
+impl Default for GreedyDualSize {
+    fn default() -> Self {
+        GreedyDualSize::new()
+    }
+}
+
+impl GreedyDualSize {
+    /// GDS(1): uniform cost, the hit-rate-oriented variant.
+    pub fn new() -> GreedyDualSize {
+        GreedyDualSize::with_cost(GdCost::Uniform)
+    }
+
+    /// Create with an explicit cost model.
+    pub fn with_cost(cost: GdCost) -> GreedyDualSize {
+        GreedyDualSize {
+            cost,
+            inflation: 0,
+            order: BTreeSet::new(),
+            values: HashMap::new(),
+        }
+    }
+
+    fn h_value(&self, meta: &DocMeta) -> u64 {
+        let cost = match self.cost {
+            GdCost::Uniform => 1u64 << FRAC_BITS,
+            GdCost::Bytes => meta.size << FRAC_BITS,
+        };
+        // H = L + cost/size, saturating to stay total under pathological
+        // sizes.
+        self.inflation
+            .saturating_add(cost / meta.size.max(1))
+            .max(self.inflation + 1)
+    }
+
+    fn upsert(&mut self, meta: &DocMeta) {
+        let h = self.h_value(meta);
+        if let Some(old) = self.values.insert(meta.url, h) {
+            self.order.remove(&(old, meta.url));
+        }
+        self.order.insert((h, meta.url));
+    }
+}
+
+impl RemovalPolicy for GreedyDualSize {
+    fn name(&self) -> String {
+        match self.cost {
+            GdCost::Uniform => "GD-SIZE(1)".to_string(),
+            GdCost::Bytes => "GD-SIZE(BYTES)".to_string(),
+        }
+    }
+
+    fn on_insert(&mut self, meta: &DocMeta) {
+        self.upsert(meta);
+    }
+
+    fn on_access(&mut self, meta: &DocMeta) {
+        // A hit restores the document's value at the current inflation.
+        self.upsert(meta);
+    }
+
+    fn on_remove(&mut self, url: UrlId) {
+        if let Some(h) = self.values.remove(&url) {
+            self.order.remove(&(h, url));
+        }
+    }
+
+    fn victim(&mut self, _now: Timestamp, _incoming_size: u64) -> Option<UrlId> {
+        let &(h, url) = self.order.first()?;
+        // Aging: the evicted document's H becomes the inflation level.
+        self.inflation = h;
+        Some(url)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn removal_position(&self, url: UrlId) -> Option<usize> {
+        let h = *self.values.get(&url)?;
+        Some(self.order.range(..(h, url)).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_trace::DocType;
+
+    fn meta(url: u32, size: u64) -> DocMeta {
+        DocMeta {
+            url: UrlId(url),
+            size,
+            doc_type: DocType::Text,
+            entry_time: 0,
+            last_access: 0,
+            nrefs: 1,
+            expires: None,
+            refetch_latency_ms: 0,
+            type_priority: 0,
+            last_modified: None,
+        }
+    }
+
+    #[test]
+    fn larger_documents_have_lower_value() {
+        let mut p = GreedyDualSize::new();
+        p.on_insert(&meta(1, 10));
+        p.on_insert(&meta(2, 10_000));
+        assert_eq!(p.victim(0, 0), Some(UrlId(2)));
+    }
+
+    #[test]
+    fn hit_refreshes_value_above_inflation() {
+        let mut p = GreedyDualSize::new();
+        p.on_insert(&meta(1, 100));
+        p.on_insert(&meta(2, 100));
+        // Evict 1 (tie broken by id) — inflation rises to its H.
+        let v = p.victim(0, 0).unwrap();
+        p.on_remove(v);
+        // Insert a fresh doc; its H sits above the raised inflation, so the
+        // remaining old doc would normally go first …
+        p.on_insert(&meta(3, 100));
+        // … but touching the old doc lifts it back above the newcomer
+        // (equal H, larger id loses ties — check via explicit ordering).
+        let survivor = if v == UrlId(1) { UrlId(2) } else { UrlId(1) };
+        p.on_access(&meta(survivor.0, 100));
+        let next = p.victim(0, 0).unwrap();
+        assert_eq!(next, UrlId(3).min(survivor));
+    }
+
+    #[test]
+    fn aging_lets_stale_small_docs_be_evicted() {
+        let mut p = GreedyDualSize::new();
+        p.on_insert(&meta(1, 10_000)); // small: H ≈ 104 above inflation
+        // Cycle many large docs through; inflation climbs past the tiny
+        // doc's H, so it eventually becomes the victim.
+        let mut evicted_tiny = false;
+        for i in 2..2000u32 {
+            p.on_insert(&meta(i, 1_000_000));
+            let v = p.victim(0, 0).unwrap();
+            p.on_remove(v);
+            if v == UrlId(1) {
+                evicted_tiny = true;
+                break;
+            }
+        }
+        assert!(evicted_tiny, "inflation never aged the tiny document out");
+    }
+
+    #[test]
+    fn byte_cost_model_is_size_neutral_at_insert() {
+        let mut p = GreedyDualSize::with_cost(GdCost::Bytes);
+        p.on_insert(&meta(1, 10));
+        p.on_insert(&meta(2, 10_000));
+        // cost/size = 1 for both: tie, broken by url id.
+        assert_eq!(p.victim(0, 0), Some(UrlId(1)));
+        assert_eq!(p.name(), "GD-SIZE(BYTES)");
+    }
+
+    #[test]
+    fn remove_and_empty_behaviour() {
+        let mut p = GreedyDualSize::new();
+        assert_eq!(p.victim(0, 0), None);
+        p.on_insert(&meta(1, 10));
+        p.on_remove(UrlId(1));
+        assert_eq!(p.victim(0, 0), None);
+        assert!(p.is_empty());
+    }
+}

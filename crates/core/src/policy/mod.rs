@@ -1,0 +1,131 @@
+//! Removal policies: the paper's sorting-key taxonomy and the literature
+//! policies it subsumes.
+//!
+//! "A removal policy is viewed as having two phases. First, it sorts
+//! documents in the cache according to one or more keys. Then it removes
+//! zero or more documents from the head of the sorted list until a criteria
+//! is satisfied." (section 1.2)
+//!
+//! * [`key`] — the Table 1 sorting keys and [`KeySpec`] combinations.
+//! * [`sorted`] — [`SortedPolicy`], the generic taxonomy policy backed by
+//!   an incrementally-maintained sorted structure.
+//! * [`named`] — constructors for FIFO, LRU, LFU and Hyper-G (Table 3).
+//! * [`lru_min`] — the exact LRU-MIN algorithm of Abrams et al. 1995.
+//! * [`pitkow_recker`] — the exact Pitkow/Recker policy, including its
+//!   end-of-day periodic purge to a comfort level.
+//! * [`greedy_dual`] — GreedyDual-Size (Cao & Irani 1997), included as an
+//!   extension showing the taxonomy generalises to value-based policies.
+
+pub mod greedy_dual;
+pub mod key;
+pub mod lru_min;
+pub mod named;
+pub mod pitkow_recker;
+pub mod sorted;
+
+pub use greedy_dual::GreedyDualSize;
+pub use key::{Key, KeySpec};
+pub use lru_min::LruMin;
+pub use pitkow_recker::PitkowRecker;
+pub use sorted::SortedPolicy;
+
+use crate::cache::DocMeta;
+use webcache_trace::{Timestamp, UrlId};
+
+/// A cache removal policy.
+///
+/// The [`Cache`](crate::cache::Cache) notifies the policy of every
+/// insertion, access (with already-updated metadata) and removal, and asks
+/// it for a victim whenever space must be freed. Implementations must track
+/// exactly the set of resident documents.
+///
+/// `Send` is a supertrait so that boxed policies (and the caches holding
+/// them) can move across threads for parallel experiment sweeps and the
+/// threaded proxy.
+pub trait RemovalPolicy: Send {
+    /// Display name (e.g. `"SIZE/RANDOM"`, `"LRU-MIN"`).
+    fn name(&self) -> String;
+
+    /// A document was inserted.
+    fn on_insert(&mut self, meta: &DocMeta);
+
+    /// A resident document was accessed; `meta` carries the updated
+    /// `last_access` and `nrefs`.
+    fn on_access(&mut self, meta: &DocMeta);
+
+    /// A document left the cache (eviction or invalidation).
+    fn on_remove(&mut self, url: UrlId);
+
+    /// Choose the next document to remove. `incoming_size` is the size of
+    /// the document being fetched (LRU-MIN keys its thresholds off it;
+    /// taxonomy policies ignore it). Returns `None` only when no document
+    /// is resident.
+    fn victim(&mut self, now: Timestamp, incoming_size: u64) -> Option<UrlId>;
+
+    /// Number of documents the policy currently tracks.
+    fn len(&self) -> usize;
+
+    /// True when the policy tracks no documents.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Position of a document in the current removal order (0 = next
+    /// victim), when the policy maintains an inspectable order. Used by
+    /// the Appendix A instrumentation ("location in sorted list of each
+    /// URL hit"); `None` when unknown or untracked. O(n) is acceptable —
+    /// this is instrumentation, not the hot path.
+    fn removal_position(&self, _url: UrlId) -> Option<usize> {
+        None
+    }
+
+    /// Periodic-removal hook, called by the cache at each simulated day
+    /// boundary. Returning `Some(target)` makes the cache evict victims
+    /// until at most `target` bytes remain (Pitkow/Recker's end-of-day run
+    /// down to a comfort level). The default — pure on-demand removal —
+    /// returns `None`.
+    fn periodic_target(&self, _now: Timestamp, _used: u64, _capacity: u64) -> Option<u64> {
+        None
+    }
+}
+
+/// A policy that never evicts; pair it with [`Cache::infinite`]
+/// (Experiment 1). Asking it for a victim panics, which is correct: an
+/// infinite cache must never need one.
+///
+/// [`Cache::infinite`]: crate::cache::Cache::infinite
+#[derive(Debug, Default)]
+pub struct NeverEvict {
+    resident: usize,
+}
+
+impl NeverEvict {
+    /// Create the no-op policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RemovalPolicy for NeverEvict {
+    fn name(&self) -> String {
+        "NEVER-EVICT".to_string()
+    }
+
+    fn on_insert(&mut self, _meta: &DocMeta) {
+        self.resident += 1;
+    }
+
+    fn on_access(&mut self, _meta: &DocMeta) {}
+
+    fn on_remove(&mut self, _url: UrlId) {
+        self.resident -= 1;
+    }
+
+    fn victim(&mut self, _now: Timestamp, _incoming_size: u64) -> Option<UrlId> {
+        panic!("NeverEvict asked for a victim: use it only with an infinite cache");
+    }
+
+    fn len(&self) -> usize {
+        self.resident
+    }
+}

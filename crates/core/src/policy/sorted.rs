@@ -1,0 +1,215 @@
+//! [`SortedPolicy`]: the generic taxonomy policy.
+//!
+//! Keeps the cached documents in a sorted structure ordered by the
+//! [`KeySpec`] rank triple, exactly as the paper describes: "the class of
+//! removal policies in §1.2 maintains a sorted list. If the list is kept
+//! sorted as the proxy operates, then the removal policy merely removes the
+//! head of the list" (section 1.3). The structure here is a `BTreeSet`
+//! keyed by `(rank, url)`, so head removal is `O(log n)` and rank updates
+//! on access are delete+insert. DESIGN.md decision D1; the alternative
+//! (re-sorting on demand) is measured by the `eviction_ablation` bench.
+
+use crate::cache::DocMeta;
+use crate::policy::key::KeySpec;
+use crate::policy::RemovalPolicy;
+use std::collections::{BTreeSet, HashMap};
+use webcache_trace::{Timestamp, UrlId};
+
+/// Rank triple plus URL id: a total order over cached documents.
+type Entry = ((i64, i64, i64), UrlId);
+
+/// A removal policy defined by a [`KeySpec`] (primary, secondary, tertiary
+/// key), per the paper's taxonomy. 36 combinations of Table 1 keys —
+/// including FIFO, LRU, LFU and Hyper-G — are instances of this one type.
+#[derive(Debug, Clone)]
+pub struct SortedPolicy {
+    spec: KeySpec,
+    order: BTreeSet<Entry>,
+    ranks: HashMap<UrlId, (i64, i64, i64)>,
+    name_override: Option<&'static str>,
+}
+
+impl SortedPolicy {
+    /// Create a policy sorting by `spec`.
+    pub fn new(spec: KeySpec) -> SortedPolicy {
+        SortedPolicy {
+            spec,
+            order: BTreeSet::new(),
+            ranks: HashMap::new(),
+            name_override: None,
+        }
+    }
+
+    /// Create with a literature name (used by [`crate::policy::named`]).
+    pub fn named(spec: KeySpec, name: &'static str) -> SortedPolicy {
+        SortedPolicy {
+            name_override: Some(name),
+            ..SortedPolicy::new(spec)
+        }
+    }
+
+    /// The key specification this policy sorts by.
+    pub fn spec(&self) -> KeySpec {
+        self.spec
+    }
+
+    /// The documents in removal order (head first). Exposed for tests and
+    /// for reproducing Table 2's sorted lists.
+    pub fn sorted_urls(&self) -> Vec<UrlId> {
+        self.order.iter().map(|&(_, url)| url).collect()
+    }
+
+    fn upsert(&mut self, meta: &DocMeta) {
+        let rank = self.spec.rank(meta);
+        if let Some(old) = self.ranks.insert(meta.url, rank) {
+            self.order.remove(&(old, meta.url));
+        }
+        self.order.insert((rank, meta.url));
+    }
+}
+
+impl RemovalPolicy for SortedPolicy {
+    fn name(&self) -> String {
+        match self.name_override {
+            Some(n) => n.to_string(),
+            None => self.spec.name(),
+        }
+    }
+
+    fn on_insert(&mut self, meta: &DocMeta) {
+        self.upsert(meta);
+    }
+
+    fn on_access(&mut self, meta: &DocMeta) {
+        // Only re-rank when an access can change the rank.
+        if self.spec.access_sensitive() {
+            self.upsert(meta);
+        }
+    }
+
+    fn on_remove(&mut self, url: UrlId) {
+        if let Some(rank) = self.ranks.remove(&url) {
+            self.order.remove(&(rank, url));
+        }
+    }
+
+    fn victim(&mut self, _now: Timestamp, _incoming_size: u64) -> Option<UrlId> {
+        self.order.first().map(|&(_, url)| url)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn removal_position(&self, url: UrlId) -> Option<usize> {
+        let rank = *self.ranks.get(&url)?;
+        Some(self.order.range(..(rank, url)).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::key::Key;
+    use webcache_trace::DocType;
+
+    fn meta(url: u32, size: u64, etime: u64, atime: u64, nrefs: u64) -> DocMeta {
+        DocMeta {
+            url: UrlId(url),
+            size,
+            doc_type: DocType::Text,
+            entry_time: etime,
+            last_access: atime,
+            nrefs,
+            expires: None,
+            refetch_latency_ms: 0,
+            type_priority: 0,
+            last_modified: None,
+        }
+    }
+
+    #[test]
+    fn lru_order_updates_on_access() {
+        let mut p = SortedPolicy::new(KeySpec::primary(Key::AccessTime));
+        p.on_insert(&meta(1, 5, 0, 0, 1));
+        p.on_insert(&meta(2, 5, 1, 1, 1));
+        assert_eq!(p.victim(10, 0), Some(UrlId(1)));
+        // Touch 1 at t=5: now 2 is least recently used.
+        p.on_access(&meta(1, 5, 0, 5, 2));
+        assert_eq!(p.victim(10, 0), Some(UrlId(2)));
+        assert_eq!(p.sorted_urls(), vec![UrlId(2), UrlId(1)]);
+    }
+
+    #[test]
+    fn fifo_ignores_accesses() {
+        let mut p = SortedPolicy::new(KeySpec::primary(Key::EntryTime));
+        p.on_insert(&meta(1, 5, 0, 0, 1));
+        p.on_insert(&meta(2, 5, 1, 1, 1));
+        p.on_access(&meta(1, 5, 0, 99, 2));
+        assert_eq!(p.victim(100, 0), Some(UrlId(1)));
+    }
+
+    #[test]
+    fn size_primary_with_lru_secondary_breaks_ties() {
+        let mut p = SortedPolicy::new(KeySpec::pair(Key::Size, Key::AccessTime));
+        p.on_insert(&meta(1, 100, 0, 50, 1)); // same size, fresher
+        p.on_insert(&meta(2, 100, 0, 10, 1)); // same size, staler
+        p.on_insert(&meta(3, 10, 0, 0, 1)); // small
+        assert_eq!(p.sorted_urls(), vec![UrlId(2), UrlId(1), UrlId(3)]);
+    }
+
+    #[test]
+    fn remove_keeps_structures_consistent() {
+        let mut p = SortedPolicy::new(KeySpec::primary(Key::Size));
+        p.on_insert(&meta(1, 100, 0, 0, 1));
+        p.on_insert(&meta(2, 50, 0, 0, 1));
+        p.on_remove(UrlId(1));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.victim(0, 0), Some(UrlId(2)));
+        p.on_remove(UrlId(2));
+        assert_eq!(p.victim(0, 0), None);
+        assert!(p.is_empty());
+        // Removing an unknown URL is a no-op.
+        p.on_remove(UrlId(99));
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_rank() {
+        let mut p = SortedPolicy::new(KeySpec::primary(Key::Size));
+        p.on_insert(&meta(1, 100, 0, 0, 1));
+        // Same URL re-inserted with a different size must not duplicate.
+        p.on_insert(&meta(1, 10, 1, 1, 1));
+        assert_eq!(p.len(), 1);
+        p.on_insert(&meta(2, 50, 0, 0, 1));
+        assert_eq!(p.victim(0, 0), Some(UrlId(2)));
+    }
+
+    #[test]
+    fn random_order_is_stable_and_salt_dependent() {
+        let mk = |salt| {
+            let mut p = SortedPolicy::new(KeySpec::primary(Key::Random).with_salt(salt));
+            for i in 0..20 {
+                p.on_insert(&meta(i, 5, 0, 0, 1));
+            }
+            p.sorted_urls()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn nref_promotes_on_access() {
+        let mut p = SortedPolicy::new(KeySpec::pair(Key::NRef, Key::EntryTime));
+        p.on_insert(&meta(1, 5, 0, 0, 1));
+        p.on_insert(&meta(2, 5, 1, 1, 1));
+        // 1 gets referenced twice more; 2 stays at 1 ref.
+        p.on_access(&meta(1, 5, 0, 2, 2));
+        p.on_access(&meta(1, 5, 0, 3, 3));
+        assert_eq!(p.victim(5, 0), Some(UrlId(2)));
+        // Tie on NREF broken by ETIME (oldest first).
+        p.on_access(&meta(2, 5, 1, 4, 2));
+        p.on_access(&meta(2, 5, 1, 5, 3));
+        assert_eq!(p.victim(6, 0), Some(UrlId(1)));
+    }
+}

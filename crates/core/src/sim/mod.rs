@@ -1,0 +1,322 @@
+//! Trace-driven simulation: the reproduction of the paper's PERL
+//! discrete-event simulator (Appendix A).
+//!
+//! "All experiments are initiated with an empty cache and run for the full
+//! duration of the workload. The simulation reports WHR and HR for each day
+//! separately." (section 3.2). This module drives a [`Trace`] through any
+//! [`CacheSystem`] and collects per-day counter deltas for each metric
+//! stream the system exposes (one stream for a plain cache; L1 and L2
+//! streams for a hierarchy; per-partition streams for a partitioned cache).
+
+pub mod instrument;
+
+use crate::cache::multilevel::{SharedL2, TwoLevelCache};
+use crate::cache::partitioned::PartitionedCache;
+use crate::cache::{Cache, Counts};
+use crate::policy::{NeverEvict, RemovalPolicy};
+use serde::{Deserialize, Serialize};
+use webcache_trace::{Request, Trace};
+
+/// Anything the simulator can drive a trace through.
+pub trait CacheSystem {
+    /// Handle one request.
+    fn handle(&mut self, r: &Request);
+
+    /// Named cumulative counter streams (snapshotted per day by the
+    /// simulator).
+    fn streams(&self) -> Vec<(String, Counts)>;
+
+    /// Named gauges reported at the end of simulation (e.g. `max_used`,
+    /// the paper's *MaxNeeded* when the cache is infinite).
+    fn gauges(&self) -> Vec<(String, u64)>;
+}
+
+impl CacheSystem for Cache {
+    fn handle(&mut self, r: &Request) {
+        let _ = self.request(r);
+    }
+
+    fn streams(&self) -> Vec<(String, Counts)> {
+        vec![("cache".to_string(), self.counts())]
+    }
+
+    fn gauges(&self) -> Vec<(String, u64)> {
+        vec![
+            ("max_used".to_string(), self.stats().max_used),
+            ("evictions".to_string(), self.stats().evictions),
+            (
+                "periodic_evictions".to_string(),
+                self.stats().periodic_evictions,
+            ),
+        ]
+    }
+}
+
+impl CacheSystem for TwoLevelCache {
+    fn handle(&mut self, r: &Request) {
+        let _ = self.request(r);
+    }
+
+    fn streams(&self) -> Vec<(String, Counts)> {
+        vec![
+            ("l1".to_string(), self.l1().counts()),
+            ("l2".to_string(), self.l2_counts_over_all_requests()),
+        ]
+    }
+
+    fn gauges(&self) -> Vec<(String, u64)> {
+        vec![
+            ("l1_max_used".to_string(), self.l1().stats().max_used),
+            ("l2_max_used".to_string(), self.l2().stats().max_used),
+        ]
+    }
+}
+
+impl CacheSystem for PartitionedCache {
+    fn handle(&mut self, r: &Request) {
+        let _ = self.request(r);
+    }
+
+    fn streams(&self) -> Vec<(String, Counts)> {
+        let mut v = vec![("total".to_string(), self.total_counts())];
+        for p in self.partitions() {
+            v.push((
+                p.name.clone(),
+                self.counts_over_all_requests(&p.name)
+                    .expect("partition names its own stream"),
+            ));
+        }
+        v
+    }
+
+    fn gauges(&self) -> Vec<(String, u64)> {
+        self.partitions()
+            .iter()
+            .map(|p| (format!("{}_max_used", p.name), p.cache.stats().max_used))
+            .collect()
+    }
+}
+
+impl CacheSystem for SharedL2 {
+    fn handle(&mut self, r: &Request) {
+        let _ = self.request_by_client(r);
+    }
+
+    fn streams(&self) -> Vec<(String, Counts)> {
+        let mut v: Vec<(String, Counts)> = self
+            .l1s()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (format!("l1_{i}"), c.counts()))
+            .collect();
+        v.push(("l2".to_string(), self.l2_counts_over_all_requests()));
+        v
+    }
+
+    fn gauges(&self) -> Vec<(String, u64)> {
+        vec![("l2_max_used".to_string(), self.l2().stats().max_used)]
+    }
+}
+
+/// Per-day counter deltas for one metric stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// Stream name (`"cache"`, `"l1"`, `"l2"`, `"audio"`, …).
+    pub name: String,
+    /// One counter delta per day of the trace (including empty days).
+    pub daily: Vec<Counts>,
+    /// Totals over the whole trace.
+    pub total: Counts,
+}
+
+impl StreamResult {
+    /// Daily hit rates as fractions. Days with no requests yield `None`,
+    /// matching the paper's practice of not plotting idle days.
+    pub fn daily_hr(&self) -> Vec<Option<f64>> {
+        self.daily
+            .iter()
+            .map(|c| (c.requests > 0).then(|| c.hit_rate()))
+            .collect()
+    }
+
+    /// Daily weighted hit rates as fractions.
+    pub fn daily_whr(&self) -> Vec<Option<f64>> {
+        self.daily
+            .iter()
+            .map(|c| (c.requests > 0).then(|| c.weighted_hit_rate()))
+            .collect()
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload name.
+    pub workload: String,
+    /// What was simulated (policy / configuration description).
+    pub system: String,
+    /// Per-stream daily results.
+    pub streams: Vec<StreamResult>,
+    /// Final gauges (e.g. `max_used` = MaxNeeded for an infinite cache).
+    pub gauges: Vec<(String, u64)>,
+}
+
+impl SimResult {
+    /// A stream by name.
+    pub fn stream(&self, name: &str) -> Option<&StreamResult> {
+        self.streams.iter().find(|s| s.name == name)
+    }
+
+    /// A gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Drive `trace` through `system`, collecting per-day deltas of every
+/// stream.
+pub fn simulate<S: CacheSystem>(trace: &Trace, system: &mut S, label: &str) -> SimResult {
+    let names: Vec<String> = system.streams().into_iter().map(|(n, _)| n).collect();
+    let mut prev: Vec<Counts> = vec![Counts::default(); names.len()];
+    let mut daily: Vec<Vec<Counts>> = vec![Vec::new(); names.len()];
+    for (_day, requests) in trace.days() {
+        for r in requests {
+            system.handle(r);
+        }
+        for (i, (_, counts)) in system.streams().into_iter().enumerate() {
+            daily[i].push(counts.delta(&prev[i]));
+            prev[i] = counts;
+        }
+    }
+    let streams = names
+        .into_iter()
+        .zip(daily)
+        .zip(system.streams())
+        .map(|((name, daily), (_, total))| StreamResult { name, daily, total })
+        .collect();
+    SimResult {
+        workload: trace.name.clone(),
+        system: label.to_string(),
+        streams,
+        gauges: system.gauges(),
+    }
+}
+
+/// Experiment 1: simulate an infinite cache. The result's `max_used` gauge
+/// is the paper's *MaxNeeded* — "the size needed for no document
+/// replacements to occur".
+pub fn simulate_infinite(trace: &Trace) -> SimResult {
+    let mut cache = Cache::infinite(Box::new(NeverEvict::new()));
+    simulate(trace, &mut cache, "infinite")
+}
+
+/// MaxNeeded of a workload (byte size of an infinite cache at trace end's
+/// high-water mark).
+pub fn max_needed(trace: &Trace) -> u64 {
+    simulate_infinite(trace)
+        .gauge("max_used")
+        .expect("infinite cache reports max_used")
+}
+
+/// Simulate a finite single-level cache under the given policy.
+pub fn simulate_policy(
+    trace: &Trace,
+    capacity: u64,
+    policy: Box<dyn RemovalPolicy>,
+) -> SimResult {
+    let label = policy.name();
+    let mut cache = Cache::new(capacity, policy);
+    simulate(trace, &mut cache, &label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::named;
+    use webcache_trace::RawRequest;
+
+    fn raw(time: u64, url: &str, size: u64) -> RawRequest {
+        RawRequest {
+            time,
+            client: "c".into(),
+            url: url.into(),
+            status: 200,
+            size,
+            last_modified: None,
+        }
+    }
+
+    fn small_trace() -> Trace {
+        let day = webcache_trace::SECONDS_PER_DAY;
+        Trace::from_raw(
+            "T",
+            &[
+                raw(0, "http://s/a.html", 100),
+                raw(10, "http://s/a.html", 100), // hit
+                raw(20, "http://s/b.html", 200),
+                // day 1: empty
+                raw(2 * day + 5, "http://s/a.html", 100), // hit
+                raw(2 * day + 6, "http://s/c.html", 300),
+            ],
+        )
+    }
+
+    #[test]
+    fn infinite_sim_computes_max_needed_and_daily_series() {
+        let t = small_trace();
+        let res = simulate_infinite(&t);
+        assert_eq!(max_needed(&t), 600);
+        let s = res.stream("cache").unwrap();
+        assert_eq!(s.daily.len(), 3);
+        assert_eq!(s.daily[0].requests, 3);
+        assert_eq!(s.daily[0].hits, 1);
+        assert_eq!(s.daily[1].requests, 0);
+        assert_eq!(s.daily[2].requests, 2);
+        assert_eq!(s.daily[2].hits, 1);
+        assert_eq!(s.total.requests, 5);
+        assert_eq!(s.total.hits, 2);
+        // Day with no requests yields None in the rate series.
+        assert_eq!(s.daily_hr()[1], None);
+        assert!((s.daily_hr()[0].unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daily_deltas_sum_to_total() {
+        let t = small_trace();
+        let res = simulate_policy(&t, 250, Box::new(named::size()));
+        let s = res.stream(&res.streams[0].name.clone()).unwrap();
+        let sum_req: u64 = s.daily.iter().map(|c| c.requests).sum();
+        let sum_hits: u64 = s.daily.iter().map(|c| c.hits).sum();
+        assert_eq!(sum_req, s.total.requests);
+        assert_eq!(sum_hits, s.total.hits);
+    }
+
+    #[test]
+    fn finite_cache_has_lower_or_equal_hits_than_infinite() {
+        let t = small_trace();
+        let inf = simulate_infinite(&t).stream("cache").unwrap().total;
+        let fin = simulate_policy(&t, 150, Box::new(named::lru()))
+            .stream("cache")
+            .unwrap()
+            .total;
+        assert!(fin.hits <= inf.hits);
+    }
+
+    #[test]
+    fn two_level_streams_via_trait() {
+        let t = small_trace();
+        let mut h = TwoLevelCache::new(
+            Cache::new(150, Box::new(named::size())),
+            Cache::infinite(Box::new(named::lru())),
+        );
+        let res = simulate(&t, &mut h, "two-level");
+        assert!(res.stream("l1").is_some());
+        assert!(res.stream("l2").is_some());
+        let l1 = res.stream("l1").unwrap().total;
+        let l2 = res.stream("l2").unwrap().total;
+        assert_eq!(l2.requests, l1.requests, "L2 stream is over all requests");
+    }
+}

@@ -1,0 +1,169 @@
+//! Tests for the section 5 "open problems" extensions implemented beyond
+//! the paper: the document-type, refetch-latency and expiry sorting keys,
+//! and their interaction with the cache decorator.
+
+use webcache_core::cache::{Cache, DocMeta};
+use webcache_core::policy::{Key, KeySpec, SortedPolicy};
+use webcache_trace::{ClientId, DocType, Request, ServerId, UrlId};
+
+fn req(time: u64, url: u32, size: u64, doc_type: DocType) -> Request {
+    Request {
+        time,
+        client: ClientId(0),
+        server: ServerId(url % 4),
+        url: UrlId(url),
+        size,
+        doc_type,
+        last_modified: None,
+    }
+}
+
+/// The DOCTYPE key with the default priority evicts continuous media
+/// before text, so text stays cached (the low-text-latency reading of the
+/// paper's open problem 1).
+#[test]
+fn doctype_key_sacrifices_media_to_keep_text() {
+    let mut cache = Cache::new(
+        10_000,
+        Box::new(SortedPolicy::new(KeySpec::pair(
+            Key::DocTypePriority,
+            Key::AccessTime,
+        ))),
+    );
+    cache.request(&req(0, 1, 4_000, DocType::Text));
+    cache.request(&req(1, 2, 4_000, DocType::Audio));
+    cache.request(&req(2, 3, 1_000, DocType::Graphics));
+    // Needs 3 kB: audio (priority 0) goes first despite being as big as
+    // the text document and more recently used.
+    cache.request(&req(3, 4, 4_000, DocType::Text));
+    assert!(!cache.contains(UrlId(2)), "audio should be evicted first");
+    assert!(cache.contains(UrlId(1)), "text survives");
+    cache.check_invariants();
+}
+
+/// The LATENCY key evicts cheap-to-refetch documents first: with a
+/// decorator modelling a slow transatlantic server, its documents are
+/// retained.
+#[test]
+fn latency_key_prefers_keeping_expensive_documents() {
+    fn latency_model(r: &Request, m: &mut DocMeta) {
+        // Server 0 is "transatlantic": 800 ms refetch; others 20 ms.
+        m.refetch_latency_ms = if r.server.0 == 0 { 800 } else { 20 };
+    }
+    let mut cache = Cache::new(
+        9_000,
+        Box::new(SortedPolicy::new(KeySpec::pair(Key::Latency, Key::AccessTime))),
+    )
+    .with_decorator(latency_model);
+    cache.request(&req(0, 0, 4_000, DocType::Text)); // server 0: slow
+    cache.request(&req(1, 1, 4_000, DocType::Text)); // server 1: fast
+    cache.request(&req(2, 2, 4_000, DocType::Text)); // server 2: fast, evicts a fast one
+    assert!(
+        cache.contains(UrlId(0)),
+        "the slow server's document must be retained"
+    );
+    assert!(!cache.contains(UrlId(1)));
+    cache.check_invariants();
+}
+
+/// The EXPIRY key (Harvest-style, open problem 4): expired and
+/// soon-to-expire documents leave first; documents without expiry leave
+/// last.
+#[test]
+fn expiry_key_removes_expired_documents_first() {
+    fn ttl(r: &Request, m: &mut DocMeta) {
+        // Even URLs get a short TTL, odd URLs never expire.
+        if r.url.0 % 2 == 0 {
+            m.expires = Some(m.entry_time + 10);
+        }
+    }
+    let mut cache = Cache::new(
+        9_000,
+        Box::new(SortedPolicy::new(KeySpec::pair(Key::Expiry, Key::AccessTime))),
+    )
+    .with_decorator(ttl);
+    cache.request(&req(0, 2, 4_000, DocType::Text)); // expires t=10
+    cache.request(&req(1, 3, 4_000, DocType::Text)); // never expires
+    cache.request(&req(100, 4, 4_000, DocType::Text)); // evict: the expired doc
+    assert!(!cache.contains(UrlId(2)), "expired document leaves first");
+    assert!(cache.contains(UrlId(3)));
+    // Next eviction: url 4 (expires t=110) leaves before the no-expiry doc.
+    cache.request(&req(200, 5, 4_000, DocType::Cgi));
+    assert!(!cache.contains(UrlId(4)));
+    assert!(cache.contains(UrlId(3)), "no-expiry document is last out");
+}
+
+/// Periodic removal interacts correctly with multi-day idle gaps: a
+/// Pitkow/Recker cache crossing several day boundaries at once purges to
+/// the comfort level exactly once per crossing without double-counting.
+#[test]
+fn periodic_removal_across_idle_days() {
+    use webcache_core::policy::PitkowRecker;
+    let day = webcache_trace::SECONDS_PER_DAY;
+    let mut cache = Cache::new(100, Box::new(PitkowRecker::new(Some(0.5), 0)));
+    for i in 0..10 {
+        cache.request(&req(i, i as u32, 10, DocType::Text));
+    }
+    assert_eq!(cache.used(), 100);
+    // Jump four days ahead (e.g. a long weekend): the purge brings the
+    // cache to the comfort level, not to zero.
+    cache.advance_time(4 * day + 1);
+    assert_eq!(cache.used(), 50);
+    let purged_once = cache.stats().periodic_evictions;
+    // Crossing into the same day again must not purge further.
+    cache.advance_time(4 * day + 2);
+    assert_eq!(cache.stats().periodic_evictions, purged_once);
+    cache.check_invariants();
+}
+
+/// The GreedyDual-Size extension outperforms plain SIZE on weighted hit
+/// rate for a mixed workload while staying close on hit rate — the
+/// motivation for its inclusion.
+#[test]
+fn greedy_dual_size_balances_hr_and_whr() {
+    use webcache_core::policy::{named, GreedyDualSize};
+    use webcache_core::sim::simulate_policy;
+    use webcache_trace::RawRequest;
+
+    // A workload mixing a hot big document with many small ones.
+    let mut raws = Vec::new();
+    let mut t = 0u64;
+    for round in 0..200u64 {
+        raws.push(RawRequest {
+            time: t,
+            client: "c".into(),
+            url: "http://s/big.mpg".into(),
+            status: 200,
+            size: 50_000,
+            last_modified: None,
+        });
+        t += 1;
+        for i in 0..10u64 {
+            raws.push(RawRequest {
+                time: t,
+                client: "c".into(),
+                url: format!("http://s/p{}.html", (round * 7 + i) % 60),
+                status: 200,
+                size: 2_000,
+                last_modified: None,
+            });
+            t += 1;
+        }
+    }
+    let trace = webcache_trace::Trace::from_raw("mix", &raws);
+    let cap = 80_000; // holds the big doc plus ~15 small ones, not all 60
+    let size = simulate_policy(&trace, cap, Box::new(named::size()));
+    let gds = simulate_policy(&trace, cap, Box::new(GreedyDualSize::new()));
+    let (s, g) = (
+        size.stream("cache").unwrap().total,
+        gds.stream("cache").unwrap().total,
+    );
+    // SIZE always evicts the hot big doc: poor WHR. GDS keeps it once its
+    // value accrues.
+    assert!(
+        g.weighted_hit_rate() > s.weighted_hit_rate(),
+        "GDS WHR {} should beat SIZE WHR {}",
+        g.weighted_hit_rate(),
+        s.weighted_hit_rate()
+    );
+}

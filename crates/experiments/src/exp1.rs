@@ -1,0 +1,175 @@
+//! Experiment 1: maximum possible hit rates (Figs. 3-7) and MaxNeeded.
+//!
+//! "To compute the maximum possible weighted hit rate, we simulate each
+//! workload with an infinite size cache. The cache size at the end of
+//! simulation is then the size needed for no document replacements to
+//! occur, denoted MaxNeeded." (section 3.2)
+
+use crate::runner::{Ctx, PAPER_MAX_NEEDED_MB, WORKLOADS};
+use serde::{Deserialize, Serialize};
+use webcache_core::sim::simulate_infinite;
+use webcache_stats::series::DailySeries;
+use webcache_stats::{report, Table};
+
+/// Results of Experiment 1 for one workload: one of Figs. 3-7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exp1Workload {
+    /// Workload name.
+    pub workload: String,
+    /// Daily HR, 7-day moving average (the plotted curve).
+    pub hr_ma: DailySeries,
+    /// Daily WHR, 7-day moving average.
+    pub whr_ma: DailySeries,
+    /// Mean daily HR over recorded days.
+    pub mean_hr: f64,
+    /// Mean daily WHR over recorded days.
+    pub mean_whr: f64,
+    /// MaxNeeded in bytes.
+    pub max_needed: u64,
+    /// Total requests simulated.
+    pub requests: u64,
+}
+
+/// The full Experiment 1 output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exp1 {
+    /// One entry per workload, in the paper's order.
+    pub workloads: Vec<Exp1Workload>,
+}
+
+/// Run Experiment 1 on one workload.
+pub fn run_one(ctx: &Ctx, workload: &str) -> Exp1Workload {
+    let trace = ctx.trace(workload);
+    let res = simulate_infinite(&trace);
+    let stream = res.stream("cache").expect("single cache stream");
+    let hr = DailySeries::new(stream.daily_hr());
+    let whr = DailySeries::new(stream.daily_whr());
+    Exp1Workload {
+        workload: workload.to_string(),
+        mean_hr: hr.mean(),
+        mean_whr: whr.mean(),
+        hr_ma: hr.moving_average(7),
+        whr_ma: whr.moving_average(7),
+        max_needed: res.gauge("max_used").expect("max_used gauge"),
+        requests: stream.total.requests,
+    }
+}
+
+/// Run Experiment 1 on all five workloads (Figs. 3-7).
+pub fn run(ctx: &Ctx) -> Exp1 {
+    Exp1 {
+        workloads: WORKLOADS.iter().map(|w| run_one(ctx, w)).collect(),
+    }
+}
+
+impl Exp1 {
+    /// Render the summary table: mean HR/WHR and MaxNeeded vs the paper.
+    pub fn summary_table(&self, scale: f64) -> String {
+        let mut t = Table::new(vec![
+            "Workload",
+            "Mean HR %",
+            "Mean WHR %",
+            "MaxNeeded MB",
+            "Paper MB (scaled)",
+        ]);
+        for w in &self.workloads {
+            let paper = PAPER_MAX_NEEDED_MB
+                .iter()
+                .find(|&&(n, _)| n == w.workload)
+                .map(|&(_, mb)| mb as f64 * scale)
+                .unwrap_or(0.0);
+            t.row(vec![
+                w.workload.clone(),
+                report::pct(w.mean_hr),
+                report::pct(w.mean_whr),
+                report::mb(w.max_needed),
+                format!("{paper:.1}"),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Render one workload's Fig. 3-7 style plot as ASCII.
+    pub fn figure(&self, workload: &str) -> Option<String> {
+        let w = self.workloads.iter().find(|w| w.workload == workload)?;
+        let hr_pct = DailySeries::new(
+            w.hr_ma.values.iter().map(|v| v.map(|x| x * 100.0)).collect(),
+        );
+        let whr_pct = DailySeries::new(
+            w.whr_ma.values.iter().map(|v| v.map(|x| x * 100.0)).collect(),
+        );
+        Some(format!(
+            "Infinite-cache hit rates, workload {} (7-day moving average)\n{}",
+            w.workload,
+            report::ascii_plot(&[("HR", &hr_pct), ("WHR", &whr_pct)], 16, 0.0, 100.0)
+        ))
+    }
+
+    /// A workload's results.
+    pub fn workload(&self, name: &str) -> Option<&Exp1Workload> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Ctx {
+        Ctx::with_scale(0.02, 5)
+    }
+
+    #[test]
+    fn br_reaches_the_highest_hit_rates() {
+        let ctx = ctx();
+        let br = run_one(&ctx, "BR");
+        let bl = run_one(&ctx, "BL");
+        // The paper: BR "achieves the highest hit rates by far — over 98%
+        // for most of the collection period". At 2% scale the absolute
+        // level is lower but BR must still dominate BL by a wide margin.
+        assert!(
+            br.mean_hr > bl.mean_hr + 0.2,
+            "BR {} vs BL {}",
+            br.mean_hr,
+            bl.mean_hr
+        );
+        assert!(br.mean_hr > 0.8, "BR mean HR {}", br.mean_hr);
+    }
+
+    #[test]
+    fn moving_average_starts_at_day_six() {
+        let w = run_one(&ctx(), "G");
+        assert!(w.hr_ma.values[..6].iter().all(|v| v.is_none()));
+        assert!(w.hr_ma.values[6..].iter().any(|v| v.is_some()));
+    }
+
+    #[test]
+    fn u_hit_rate_declines_after_fall_start() {
+        let ctx = Ctx::with_scale(0.05, 5);
+        let w = run_one(&ctx, "U");
+        // Mean of the MA before day 150 vs after day 160 ("Around day 155
+        // the hit rates permanently decline").
+        let avg = |range: std::ops::Range<usize>| {
+            let vals: Vec<f64> = w.hr_ma.values[range].iter().copied().flatten().collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let before = avg(100..150);
+        let after = avg(165..190);
+        assert!(
+            after < before,
+            "expected decline: before {before} after {after}"
+        );
+    }
+
+    #[test]
+    fn summary_and_figures_render() {
+        let e = Exp1 {
+            workloads: vec![run_one(&ctx(), "BR")],
+        };
+        let s = e.summary_table(0.02);
+        assert!(s.contains("BR"));
+        assert!(e.figure("BR").unwrap().contains("WHR"));
+        assert!(e.figure("XX").is_none());
+        assert!(e.workload("BR").is_some());
+    }
+}

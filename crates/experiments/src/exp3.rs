@@ -1,0 +1,197 @@
+//! Experiment 3: effectiveness of a second-level cache (Figs. 16-18).
+//!
+//! "Experiment 3 uses the HR best policy from Experiment 2 (SIZE) for the
+//! primary key and random as the secondary key. The primary cache is set
+//! to 10% of MaxNeeded, and the second level cache has infinite size."
+//! Also implements the section 5 open-problem extension: several primary
+//! caches sharing one second-level cache.
+
+use crate::runner::Ctx;
+use serde::{Deserialize, Serialize};
+use webcache_core::cache::multilevel::{SharedL2, TwoLevelCache};
+use webcache_core::cache::Cache;
+use webcache_core::policy::{named, NeverEvict};
+use webcache_core::sim::simulate;
+use webcache_stats::series::DailySeries;
+use webcache_stats::{report, Table};
+
+/// Experiment 3 results for one workload: one of Figs. 16-18.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exp3Workload {
+    /// Workload name.
+    pub workload: String,
+    /// L1 capacity in bytes (10% of MaxNeeded).
+    pub l1_capacity: u64,
+    /// Daily L2 HR over all requests, 7-day MA (the plotted curve).
+    pub l2_hr_ma: DailySeries,
+    /// Daily L2 WHR over all requests, 7-day MA.
+    pub l2_whr_ma: DailySeries,
+    /// Totals.
+    pub l1_hr: f64,
+    /// L1 weighted hit rate.
+    pub l1_whr: f64,
+    /// L2 hit rate over all client requests.
+    pub l2_hr: f64,
+    /// L2 weighted hit rate over all client requests.
+    pub l2_whr: f64,
+}
+
+/// Run Experiment 3 for one workload.
+pub fn run_one(ctx: &Ctx, workload: &str, cache_fraction: f64) -> Exp3Workload {
+    let trace = ctx.trace(workload);
+    let max_needed = webcache_core::sim::max_needed(&trace);
+    let l1_capacity = ((max_needed as f64 * cache_fraction) as u64).max(1);
+    let mut system = TwoLevelCache::new(
+        Cache::new(l1_capacity, Box::new(named::size())),
+        Cache::infinite(Box::new(NeverEvict::new())),
+    );
+    let res = simulate(&trace, &mut system, "SIZE L1 + infinite L2");
+    let l1 = res.stream("l1").expect("l1 stream");
+    let l2 = res.stream("l2").expect("l2 stream");
+    Exp3Workload {
+        workload: workload.to_string(),
+        l1_capacity,
+        l2_hr_ma: DailySeries::new(l2.daily_hr()).moving_average(7),
+        l2_whr_ma: DailySeries::new(l2.daily_whr()).moving_average(7),
+        l1_hr: l1.total.hit_rate(),
+        l1_whr: l1.total.weighted_hit_rate(),
+        l2_hr: l2.total.hit_rate(),
+        l2_whr: l2.total.weighted_hit_rate(),
+    }
+}
+
+/// Run Experiment 3 on the workloads the paper plots (BR, C, G) plus the
+/// other two for completeness.
+pub fn run(ctx: &Ctx, cache_fraction: f64) -> Vec<Exp3Workload> {
+    crate::runner::WORKLOADS
+        .iter()
+        .map(|w| run_one(ctx, w, cache_fraction))
+        .collect()
+}
+
+/// Render the Experiment 3 summary table.
+pub fn table(results: &[Exp3Workload]) -> String {
+    let mut t = Table::new(vec![
+        "Workload",
+        "L1 HR %",
+        "L1 WHR %",
+        "L2 HR %",
+        "L2 WHR %",
+    ]);
+    for r in results {
+        t.row(vec![
+            r.workload.clone(),
+            report::pct(r.l1_hr),
+            report::pct(r.l1_whr),
+            report::pct(r.l2_hr),
+            report::pct(r.l2_whr),
+        ]);
+    }
+    t.render()
+}
+
+/// Extension (section 5, open problem 3): `groups` primary caches, each
+/// 10% of MaxNeeded / groups, sharing one infinite L2. Returns
+/// `(per-L1 hit rates, shared L2 HR, shared L2 WHR)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedL2Result {
+    /// Workload name.
+    pub workload: String,
+    /// Number of first-level caches.
+    pub groups: usize,
+    /// Hit rate of each L1 over its own requests.
+    pub l1_hrs: Vec<f64>,
+    /// Shared-L2 hit rate over all requests.
+    pub l2_hr: f64,
+    /// Shared-L2 weighted hit rate over all requests.
+    pub l2_whr: f64,
+}
+
+/// Run the shared-L2 extension.
+pub fn run_shared(ctx: &Ctx, workload: &str, cache_fraction: f64, groups: usize) -> SharedL2Result {
+    assert!(groups >= 1);
+    let trace = ctx.trace(workload);
+    let max_needed = webcache_core::sim::max_needed(&trace);
+    let per_l1 = ((max_needed as f64 * cache_fraction / groups as f64) as u64).max(1);
+    let l1s = (0..groups)
+        .map(|_| Cache::new(per_l1, Box::new(named::size())))
+        .collect();
+    let mut system = SharedL2::new(l1s, Cache::infinite(Box::new(NeverEvict::new())));
+    let res = simulate(&trace, &mut system, "shared L2");
+    let l1_hrs = (0..groups)
+        .map(|i| {
+            res.stream(&format!("l1_{i}"))
+                .expect("l1 stream")
+                .total
+                .hit_rate()
+        })
+        .collect();
+    let l2 = res.stream("l2").expect("l2 stream");
+    SharedL2Result {
+        workload: workload.to_string(),
+        groups,
+        l1_hrs,
+        l2_hr: l2.total.hit_rate(),
+        l2_whr: l2.total.weighted_hit_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_whr_exceeds_l2_hr() {
+        // The paper's reading of Figs. 16-18: "This explains why WHR is
+        // larger than HR — primary cache misses that are hits in the
+        // secondary cache are for large files."
+        let ctx = Ctx::with_scale(0.03, 13);
+        for w in ["BR", "G", "BL"] {
+            let r = run_one(&ctx, w, 0.1);
+            assert!(
+                r.l2_whr > r.l2_hr,
+                "{w}: L2 WHR {} should exceed L2 HR {}",
+                r.l2_whr,
+                r.l2_hr
+            );
+        }
+    }
+
+    #[test]
+    fn l2_plays_extended_memory_role() {
+        // "a memory-starved primary cache … the second level cache reaches
+        // a maximum 1.2-8% HR, and a 15-70% WHR".
+        let ctx = Ctx::with_scale(0.03, 13);
+        let r = run_one(&ctx, "G", 0.1);
+        assert!(r.l2_hr > 0.005, "L2 HR {}", r.l2_hr);
+        assert!(r.l2_whr > 0.05, "L2 WHR {}", r.l2_whr);
+        // L1 plus L2 can't beat the infinite cache.
+        let inf = crate::exp1::run_one(&ctx, "G");
+        let _ = inf; // level comparison is in integration tests
+    }
+
+    #[test]
+    fn shared_l2_absorbs_cross_group_traffic() {
+        let ctx = Ctx::with_scale(0.03, 13);
+        let r = run_shared(&ctx, "BL", 0.1, 4);
+        assert_eq!(r.l1_hrs.len(), 4);
+        // Splitting L1 four ways starves each shard; the shared L2 must
+        // pick up more than the single-L1 configuration's L2 does.
+        let single = run_one(&ctx, "BL", 0.1);
+        assert!(
+            r.l2_hr >= single.l2_hr,
+            "shared L2 HR {} vs single {}",
+            r.l2_hr,
+            single.l2_hr
+        );
+    }
+
+    #[test]
+    fn summary_table_renders() {
+        let ctx = Ctx::with_scale(0.02, 13);
+        let rows = vec![run_one(&ctx, "BR", 0.1)];
+        let t = table(&rows);
+        assert!(t.contains("BR"));
+        assert!(t.contains("L2 WHR"));
+    }
+}

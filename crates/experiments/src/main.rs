@@ -1,0 +1,266 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale F] [--seed N] [--json DIR] <command> [args]
+//!
+//! Commands:
+//!   table1 | table3            definitional tables
+//!   table4                     file-type mixes of all five workloads
+//!   fig1 [WL] | fig2 [WL]      server/URL rank distributions (default BL)
+//!   fig13 [WL] | fig14 [WL]    size histogram / interreference scatter
+//!   exp1 [WL]                  infinite-cache hit rates + MaxNeeded
+//!   exp2 [WL] [FRAC] [SET]     policy comparison (SET: figures|primaries|all36|named)
+//!   exp2b [WL] [FRAC]          Fig. 15 secondary-key study (default G)
+//!   exp3 [FRAC]                two-level cache
+//!   exp3-shared WL [GROUPS]    shared-L2 extension
+//!   exp4 [FRAC]                partitioned cache on BR
+//!   all                        everything above, in order
+//! ```
+
+use std::io::Write as _;
+use webcache_experiments::{exp1, exp2, exp3, exp4, exp5, figures, Ctx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut seed = 1u64;
+    let mut json_dir: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--json" => json_dir = it.next(),
+            _ => rest.push(a),
+        }
+    }
+    let ctx = Ctx::with_scale(scale, seed);
+    let cmd = rest.first().map(String::as_str).unwrap_or("help");
+    let arg = |i: usize| rest.get(i).map(String::as_str);
+    let save = |name: &str, value: &dyn erased_json::SerializeJson| {
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{name}.json");
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            f.write_all(value.to_json().as_bytes()).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    };
+
+    match cmd {
+        "table1" => println!("{}", figures::table1()),
+        "table3" => println!("{}", figures::table3()),
+        "table4" => println!("{}", figures::table4(&ctx)),
+        "fig1" => {
+            let f = figures::fig1(&ctx, arg(1).unwrap_or("BL"));
+            save("fig1", &f);
+            println!("{}", f.render("requests"));
+        }
+        "fig2" => {
+            let f = figures::fig2(&ctx, arg(1).unwrap_or("BL"));
+            save("fig2", &f);
+            println!("{}", f.render("bytes"));
+        }
+        "fig13" => {
+            let wl = arg(1).unwrap_or("BL");
+            let h = figures::fig13(&ctx, wl);
+            save("fig13", &h);
+            println!("{}", figures::render_fig13(&h, wl));
+        }
+        "fig14" => {
+            let wl = arg(1).unwrap_or("BL");
+            match figures::fig14(&ctx, wl) {
+                Some(s) => {
+                    save("fig14", &s);
+                    println!(
+                        "Workload {wl}: {} re-references\n\
+                         geometric mean size      {:>12.0} bytes\n\
+                         geometric mean interref  {:>12.0} s\n\
+                         median size              {:>12} bytes\n\
+                         median interref          {:>12} s\n\
+                         interref < 1h            {:>11.1}%",
+                        s.n,
+                        s.geo_mean_size,
+                        s.geo_mean_interref,
+                        s.median_size,
+                        s.median_interref,
+                        s.frac_interref_under_hour * 100.0
+                    )
+                }
+                None => println!("workload {wl}: no re-references"),
+            }
+        }
+        "exp1" => {
+            let e = match arg(1) {
+                Some(w) => exp1::Exp1 {
+                    workloads: vec![exp1::run_one(&ctx, w)],
+                },
+                None => exp1::run(&ctx),
+            };
+            save("exp1", &e);
+            for w in &e.workloads {
+                println!("{}", e.figure(&w.workload).expect("figure"));
+            }
+            println!("{}", e.summary_table(ctx.scale()));
+        }
+        "exp2" => {
+            let frac: f64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            let set = match arg(3).unwrap_or("figures") {
+                "primaries" => exp2::PolicySet::Primaries,
+                "all36" => exp2::PolicySet::All36,
+                "named" => exp2::PolicySet::Named,
+                _ => exp2::PolicySet::Figures,
+            };
+            let workloads: Vec<&str> = match arg(1) {
+                Some(w) => vec![w],
+                None => webcache_experiments::runner::WORKLOADS.to_vec(),
+            };
+            for w in workloads {
+                let e = exp2::run_one(&ctx, w, frac, set);
+                save(&format!("exp2_{w}"), &e);
+                println!("{}", e.figure());
+                println!("{}", e.table());
+            }
+        }
+        "exp2b" => {
+            let wl = arg(1).unwrap_or("G");
+            let frac: f64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            let s = exp2::run_secondary(&ctx, wl, frac);
+            save("exp2b", &s);
+            println!("{}", s.table());
+        }
+        "exp3" => {
+            let frac: f64 = arg(1).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            let rows = exp3::run(&ctx, frac);
+            save("exp3", &rows);
+            println!("{}", exp3::table(&rows));
+        }
+        "exp3-shared" => {
+            let wl = arg(1).unwrap_or("BL");
+            let groups: usize = arg(2).and_then(|v| v.parse().ok()).unwrap_or(4);
+            let r = exp3::run_shared(&ctx, wl, 0.1, groups);
+            save("exp3_shared", &r);
+            println!(
+                "Shared L2, workload {wl}, {groups} L1 groups: per-L1 HR {:?}, L2 HR {:.2}% WHR {:.2}%",
+                r.l1_hrs
+                    .iter()
+                    .map(|h| format!("{:.1}%", h * 100.0))
+                    .collect::<Vec<_>>(),
+                r.l2_hr * 100.0,
+                r.l2_whr * 100.0
+            );
+        }
+        "exp5" => {
+            let wl = arg(1).unwrap_or("BL");
+            let frac: f64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            let runs = exp5::run(&ctx, wl, frac);
+            save("exp5", &runs);
+            println!("{}", exp5::table(wl, &runs));
+        }
+        "replicate" => {
+            let wl = arg(1).unwrap_or("G");
+            let seeds: u64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(5);
+            let (shr, lhr, swhr, lwhr) = exp5::replicate(wl, scale, 0.1, 1..1 + seeds);
+            println!(
+                "workload {wl}, {seeds} seeds, 10% cache:\n\
+                 SIZE HR {:.2}% ± {:.2} | LRU HR {:.2}% ± {:.2}\n\
+                 SIZE WHR {:.2}% ± {:.2} | LRU WHR {:.2}% ± {:.2}",
+                shr.mean * 100.0, shr.stddev * 100.0,
+                lhr.mean * 100.0, lhr.stddev * 100.0,
+                swhr.mean * 100.0, swhr.stddev * 100.0,
+                lwhr.mean * 100.0, lwhr.stddev * 100.0,
+            );
+        }
+        "hitpos" => {
+            // Appendix A: "location in sorted list of each URL hit".
+            use webcache_core::cache::Cache;
+            use webcache_core::policy::named;
+            use webcache_core::sim::instrument::InstrumentedCache;
+            use webcache_core::sim::simulate;
+            let wl = arg(1).unwrap_or("BL");
+            let trace = ctx.trace(wl);
+            let capacity = webcache_core::sim::max_needed(&trace) / 10;
+            for make in [named::lru, named::size] {
+                let policy = make();
+                let label = webcache_core::policy::RemovalPolicy::name(&policy);
+                let mut ic =
+                    InstrumentedCache::new(Cache::new(capacity, Box::new(policy)), 1000);
+                simulate(&trace, &mut ic, &label);
+                let rep = ic.report();
+                println!(
+                    "{label} on {wl}: {:.1}% of hits within 15 places of eviction",
+                    rep.hits_within_position(15) * 100.0
+                );
+                let total: u64 = rep.hit_position_log2.iter().sum();
+                for (i, &c) in rep.hit_position_log2.iter().enumerate().take(16) {
+                    if c > 0 {
+                        println!(
+                            "  position [{:>6}..{:>6}): {:>7} hits ({:.1}%)",
+                            (1u64 << i) - 1,
+                            (1u64 << (i + 1)) - 1,
+                            c,
+                            100.0 * c as f64 / total.max(1) as f64
+                        );
+                    }
+                }
+            }
+        }
+        "exp4" => {
+            let frac: f64 = arg(1).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            let e = exp4::run(&ctx, "BR", frac);
+            save("exp4", &e);
+            println!("{}", e.table());
+        }
+        "all" => {
+            println!("{}", figures::table1());
+            println!("{}", figures::table3());
+            println!("{}", figures::table4(&ctx));
+            println!("{}", figures::fig1(&ctx, "BL").render("requests"));
+            println!("{}", figures::fig2(&ctx, "BL").render("bytes"));
+            println!("{}", figures::render_fig13(&figures::fig13(&ctx, "BL"), "BL"));
+            let e1 = exp1::run(&ctx);
+            save("exp1", &e1);
+            println!("{}", e1.summary_table(ctx.scale()));
+            for w in webcache_experiments::runner::WORKLOADS {
+                let e = exp2::run_one(&ctx, w, 0.1, exp2::PolicySet::Figures);
+                save(&format!("exp2_{w}"), &e);
+                println!("{}", e.table());
+            }
+            let s = exp2::run_secondary(&ctx, "G", 0.1);
+            save("exp2b", &s);
+            println!("{}", s.table());
+            let e3 = exp3::run(&ctx, 0.1);
+            save("exp3", &e3);
+            println!("{}", exp3::table(&e3));
+            let e4 = exp4::run(&ctx, "BR", 0.1);
+            save("exp4", &e4);
+            println!("{}", e4.table());
+        }
+        _ => {
+            println!(
+                "usage: experiments [--scale F] [--seed N] [--json DIR] <command>\n\
+                 commands: table1 table3 table4 fig1 fig2 fig13 fig14\n\
+                 exp1 [WL] | exp2 [WL] [FRAC] [figures|primaries|all36|named] |\n\
+                 exp2b [WL] [FRAC] | exp3 [FRAC] | exp3-shared WL [GROUPS] | exp4 [FRAC] |\n\
+                 exp5 [WL] [FRAC] | replicate [WL] [SEEDS] | all"
+            );
+        }
+    }
+}
+
+/// Minimal object-safe JSON serialisation shim so `save` can take any
+/// serde-serialisable result without generics.
+mod erased_json {
+    /// Object-safe "serialise to JSON string".
+    pub trait SerializeJson {
+        /// Produce the JSON text.
+        fn to_json(&self) -> String;
+    }
+
+    impl<T: serde::Serialize> SerializeJson for T {
+        fn to_json(&self) -> String {
+            serde_json::to_string_pretty(self).expect("serialisable result")
+        }
+    }
+}

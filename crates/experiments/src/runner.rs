@@ -1,0 +1,164 @@
+//! Shared orchestration: trace caching, the Table 5 experiment design
+//! constants, and parallel policy sweeps.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use webcache_core::policy::RemovalPolicy;
+use webcache_core::sim::{simulate_policy, SimResult};
+use webcache_trace::Trace;
+use webcache_workload::profiles;
+
+/// The paper's published MaxNeeded values in bytes (section 4.1): "they
+/// must have the following sizes: 221 Mbytes for workload C, 413 Mbytes
+/// for G, 408 Mbytes for BL, 198 Mbytes for BR, and 1400 Mbytes for U."
+pub const PAPER_MAX_NEEDED_MB: [(&str, u64); 5] = [
+    ("U", 1400),
+    ("G", 413),
+    ("C", 221),
+    ("BR", 198),
+    ("BL", 408),
+];
+
+/// The workload names in the paper's order.
+pub const WORKLOADS: [&str; 5] = ["U", "G", "C", "BR", "BL"];
+
+/// Experiment context: generates each workload's trace once (optionally
+/// scaled down) and shares it across experiments.
+pub struct Ctx {
+    scale: f64,
+    seed: u64,
+    traces: Mutex<HashMap<String, Arc<Trace>>>,
+}
+
+impl Ctx {
+    /// Full-scale context with the default seed.
+    pub fn new() -> Ctx {
+        Ctx::with_scale(1.0, 1)
+    }
+
+    /// Context generating traces at `scale` (0 < scale ≤ 1) of the
+    /// published volumes, seeded deterministically.
+    pub fn with_scale(scale: f64, seed: u64) -> Ctx {
+        assert!(scale > 0.0 && scale <= 1.0);
+        Ctx {
+            scale,
+            seed,
+            traces: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The context's scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The (possibly scaled) trace for a workload, generated on first use.
+    pub fn trace(&self, name: &str) -> Arc<Trace> {
+        if let Some(t) = self.traces.lock().expect("poisoned").get(name) {
+            return Arc::clone(t);
+        }
+        let profile = profiles::by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+        let profile = if self.scale < 1.0 {
+            profile.scaled(self.scale)
+        } else {
+            profile
+        };
+        let trace = Arc::new(webcache_workload::generate(&profile, self.seed));
+        self.traces
+            .lock()
+            .expect("poisoned")
+            .insert(name.to_string(), Arc::clone(&trace));
+        trace
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx::new()
+    }
+}
+
+/// Run one `(label, policy)` simulation per entry, in parallel, preserving
+/// input order in the output.
+pub fn parallel_sims(
+    trace: &Trace,
+    capacity: u64,
+    policies: Vec<(String, Box<dyn RemovalPolicy + Send>)>,
+) -> Vec<(String, SimResult)> {
+    let results: Vec<Mutex<Option<(String, SimResult)>>> =
+        policies.iter().map(|_| Mutex::new(None)).collect();
+    let work: Mutex<Vec<(usize, String, Box<dyn RemovalPolicy + Send>)>> = Mutex::new(
+        policies
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n, p))| (i, n, p))
+            .collect(),
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(results.len().max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let item = work.lock().expect("poisoned").pop();
+                let Some((i, name, policy)) = item else { break };
+                let res = simulate_policy(trace, capacity, policy);
+                *results[i].lock().expect("poisoned") = Some((name, res));
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_core::policy::named;
+
+    #[test]
+    fn ctx_caches_traces() {
+        let ctx = Ctx::with_scale(0.01, 7);
+        let a = ctx.trace("BL");
+        let b = ctx.trace("BL");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.len() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn ctx_rejects_unknown_workloads() {
+        Ctx::with_scale(0.01, 1).trace("ZZ");
+    }
+
+    #[test]
+    fn parallel_sims_preserve_order_and_match_serial() {
+        let ctx = Ctx::with_scale(0.01, 3);
+        let trace = ctx.trace("G");
+        let cap = webcache_core::sim::max_needed(&trace) / 10;
+        let jobs: Vec<(String, Box<dyn RemovalPolicy + Send>)> = vec![
+            ("SIZE".into(), Box::new(named::size())),
+            ("LRU".into(), Box::new(named::lru())),
+        ];
+        let out = parallel_sims(&trace, cap, jobs);
+        assert_eq!(out[0].0, "SIZE");
+        assert_eq!(out[1].0, "LRU");
+        let serial = simulate_policy(&trace, cap, Box::new(named::size()));
+        assert_eq!(
+            out[0].1.stream("cache").unwrap().total,
+            serial.stream("cache").unwrap().total
+        );
+    }
+
+    #[test]
+    fn paper_constants_cover_all_workloads() {
+        for w in WORKLOADS {
+            assert!(PAPER_MAX_NEEDED_MB.iter().any(|&(n, _)| n == w));
+        }
+    }
+}

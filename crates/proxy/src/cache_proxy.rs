@@ -1,0 +1,446 @@
+//! The caching proxy itself: a CERN-style HTTP/1.0 proxy whose removal
+//! decisions are made by a `webcache-core` policy.
+//!
+//! The proxy implements the three cases of section 1 of the paper:
+//!
+//! 1. a cached copy estimated consistent → serve it (hit);
+//! 2. a cached copy past its freshness lifetime → conditional GET to the
+//!    origin; `304` refreshes the copy (still a hit — no bytes moved),
+//!    `200` replaces it (miss);
+//! 3. no copy → forward the GET to the origin and cache the result.
+
+use crate::http::{self, Request, Response};
+use crate::http::HttpError;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use webcache_core::cache::{Cache, Outcome};
+use webcache_core::policy::RemovalPolicy;
+use webcache_trace::{ClientId, DocType, Interner, ServerId};
+
+/// Proxy configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyConfig {
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+    /// Freshness lifetime in seconds: a copy older than this is
+    /// revalidated with a conditional GET. `None` trusts copies forever
+    /// (the simulator's behaviour for unchanged sizes).
+    pub ttl: Option<u64>,
+}
+
+/// Counters the proxy exposes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Client requests handled.
+    pub requests: u64,
+    /// Served from cache without touching the origin.
+    pub hits: u64,
+    /// Revalidations answered `304` (hits that cost one round trip).
+    pub revalidated: u64,
+    /// Full fetches from the origin.
+    pub misses: u64,
+    /// Bytes served from cache.
+    pub bytes_from_cache: u64,
+    /// Bytes fetched from the origin.
+    pub bytes_from_origin: u64,
+}
+
+impl ProxyStats {
+    /// Hit rate (cache-served plus revalidated, over all requests) —
+    /// both avoid refetching the body.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.hits + self.revalidated) as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Shared mutable proxy state: metadata cache, body store, interner and a
+/// logical clock.
+struct ProxyState {
+    cache: Cache,
+    bodies: HashMap<webcache_trace::UrlId, Bytes>,
+    interner: Interner,
+    stats: ProxyStats,
+    /// Fetch time per resident document (for TTL freshness).
+    fetched_at: HashMap<webcache_trace::UrlId, u64>,
+    /// Logical clock: advances by one per request, so ATIME/ETIME/NREF
+    /// behave exactly as in simulation. Wall time is deliberately not
+    /// used — tests stay deterministic.
+    now: u64,
+    log: Vec<String>,
+}
+
+/// A running caching proxy.
+pub struct ProxyServer {
+    addr: SocketAddr,
+    state: Arc<Mutex<ProxyState>>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProxyServer {
+    /// Start a proxy forwarding misses to `origin`, using `policy` for
+    /// removal.
+    pub fn start(
+        origin: SocketAddr,
+        config: ProxyConfig,
+        policy: Box<dyn RemovalPolicy + Send>,
+    ) -> std::io::Result<ProxyServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(Mutex::new(ProxyState {
+            cache: Cache::new(config.capacity, policy),
+            bodies: HashMap::new(),
+            interner: Interner::new(),
+            stats: ProxyStats::default(),
+            fetched_at: HashMap::new(),
+            now: 0,
+            log: Vec::new(),
+        }));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    let state = Arc::clone(&state);
+                    std::thread::spawn(move || {
+                        let _ = handle_client(&mut stream, origin, config, &state);
+                    });
+                }
+            })
+        };
+        Ok(ProxyServer {
+            addr,
+            state,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The proxy's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the proxy's counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.state.lock().stats
+    }
+
+    /// The proxy's Common-Log-Format access log so far.
+    pub fn access_log(&self) -> String {
+        self.state.lock().log.join("\n")
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> u64 {
+        self.state.lock().cache.used()
+    }
+}
+
+impl Drop for ProxyServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn fetch_origin(origin: SocketAddr, req: &Request) -> Result<Response, HttpError> {
+    let mut stream = TcpStream::connect(origin)?;
+    http::write_request(&mut stream, req)?;
+    http::read_response(&mut stream)
+}
+
+fn handle_client(
+    stream: &mut TcpStream,
+    origin: SocketAddr,
+    config: ProxyConfig,
+    state: &Arc<Mutex<ProxyState>>,
+) -> Result<(), HttpError> {
+    let req = http::read_request(stream)?;
+    if req.method != "GET" {
+        return http::write_response(stream, &Response::status_only(501));
+    }
+    if !req.target.starts_with("http://") {
+        return http::write_response(stream, &Response::status_only(400));
+    }
+    let resp = proxy_get(origin, config, state, &req.target)?;
+    // Downstream conditional GET (a client cache or a child proxy in a
+    // hierarchy, as in the paper's case 2): if our copy is not newer than
+    // the caller's, a bodyless 304 suffices.
+    if let (Some(since), Some(lm)) = (req.if_modified_since(), resp.last_modified()) {
+        if resp.status == 200 && lm <= since {
+            let mut not_modified = Response::status_only(304);
+            if resp.is_cache_hit() {
+                not_modified = not_modified.with_cache_status(true);
+            }
+            return http::write_response(stream, &not_modified);
+        }
+    }
+    http::write_response(stream, &resp)
+}
+
+/// The proxy's core GET logic, factored out for direct (in-process) use.
+fn proxy_get(
+    origin: SocketAddr,
+    config: ProxyConfig,
+    state: &Arc<Mutex<ProxyState>>,
+    target: &str,
+) -> Result<Response, HttpError> {
+    // Phase 1: consult the cache under the lock.
+    let (url, cached) = {
+        let mut st = state.lock();
+        st.now += 1;
+        st.stats.requests += 1;
+        let url = st.interner.url(target);
+        let cached = st.cache.meta(url).map(|m| {
+            (
+                *m,
+                st.bodies.get(&url).cloned().unwrap_or_default(),
+                st.fetched_at.get(&url).copied().unwrap_or(0),
+                st.now,
+            )
+        });
+        (url, cached)
+    };
+
+    if let Some((meta, body, fetched, now)) = cached {
+        let fresh = config.ttl.map_or(true, |ttl| now.saturating_sub(fetched) <= ttl);
+        if fresh {
+            // Case 1: consistent copy, serve it.
+            let mut st = state.lock();
+            let now = st.now;
+            record_cache_hit(&mut st, url, target, now);
+            return Ok(Response::ok(body, meta.last_modified).with_cache_status(true));
+        }
+        // Case 2: revalidate with a conditional GET.
+        let cond = Request::get(target)
+            .with_header("If-Modified-Since", &meta.last_modified.unwrap_or(0).to_string());
+        let origin_resp = fetch_origin(origin, &cond)?;
+        if origin_resp.status == 304 {
+            let mut st = state.lock();
+            st.stats.revalidated += 1;
+            let now = st.now;
+            st.fetched_at.insert(url, now);
+            record_cache_hit(&mut st, url, target, now);
+            return Ok(Response::ok(body, meta.last_modified).with_cache_status(true));
+        }
+        // Modified: fall through to insert the fresh copy.
+        return Ok(store_and_serve(state, config, url, target, origin_resp));
+    }
+
+    // Case 3: no copy; forward to the origin.
+    let origin_resp = fetch_origin(origin, &Request::get(target))?;
+    if origin_resp.status != 200 {
+        return Ok(origin_resp);
+    }
+    Ok(store_and_serve(state, config, url, target, origin_resp))
+}
+
+/// A cache hit: update metadata/policy through the simulator-grade cache.
+fn record_cache_hit(st: &mut ProxyState, url: webcache_trace::UrlId, target: &str, now: u64) {
+    let meta = *st.cache.meta(url).expect("hit on resident doc");
+    let r = webcache_trace::Request {
+        time: now,
+        client: ClientId(0),
+        server: ServerId(0),
+        url,
+        size: meta.size,
+        doc_type: meta.doc_type,
+        last_modified: meta.last_modified,
+    };
+    let outcome = st.cache.request(&r);
+    debug_assert!(outcome.is_hit());
+    st.stats.hits += 1;
+    st.stats.bytes_from_cache += meta.size;
+    let line = format!(
+        "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {} HIT",
+        meta.size
+    );
+    st.log.push(line);
+}
+
+/// Store a 200 origin response (evicting via the policy) and serve it.
+fn store_and_serve(
+    state: &Arc<Mutex<ProxyState>>,
+    _config: ProxyConfig,
+    url: webcache_trace::UrlId,
+    target: &str,
+    origin_resp: Response,
+) -> Response {
+    let mut st = state.lock();
+    let size = origin_resp.body.len() as u64;
+    st.stats.misses += 1;
+    st.stats.bytes_from_origin += size;
+    let now = st.now;
+    let last_modified = origin_resp.last_modified();
+    let r = webcache_trace::Request {
+        time: now,
+        client: ClientId(0),
+        server: ServerId(0),
+        url,
+        size,
+        doc_type: DocType::classify(target),
+        last_modified,
+    };
+    match st.cache.request(&r) {
+        Outcome::Hit => {
+            // Same URL and size already cached (raced with another
+            // thread); just refresh the body.
+            st.bodies.insert(url, origin_resp.body.clone());
+        }
+        Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
+            for meta in evicted {
+                st.bodies.remove(&meta.url);
+                st.fetched_at.remove(&meta.url);
+            }
+            st.bodies.insert(url, origin_resp.body.clone());
+            st.fetched_at.insert(url, now);
+        }
+        Outcome::MissTooBig => {
+            // Larger than the whole cache: pass through uncached.
+        }
+    }
+    st.log.push(format!(
+        "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {size} MISS"
+    ));
+    Response::ok(origin_resp.body, last_modified).with_cache_status(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{DocStore, OriginServer};
+    use webcache_core::policy::named;
+
+    fn setup(capacity: u64, ttl: Option<u64>) -> (OriginServer, ProxyServer) {
+        let store = Arc::new(DocStore::new());
+        store.put_synthetic("http://o.test/a.html", 1000, 10);
+        store.put_synthetic("http://o.test/b.gif", 3000, 10);
+        store.put_synthetic("http://o.test/c.au", 6000, 10);
+        let origin = OriginServer::start(store).unwrap();
+        let proxy = ProxyServer::start(
+            origin.addr(),
+            ProxyConfig { capacity, ttl },
+            Box::new(named::size()),
+        )
+        .unwrap();
+        (origin, proxy)
+    }
+
+    fn get(proxy: &ProxyServer, url: &str) -> Response {
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        http::write_request(&mut s, &Request::get(url)).unwrap();
+        http::read_response(&mut s).unwrap()
+    }
+
+    #[test]
+    fn second_request_is_a_cache_hit() {
+        let (origin, proxy) = setup(100_000, None);
+        let first = get(&proxy, "http://o.test/a.html");
+        assert_eq!(first.status, 200);
+        assert!(!first.is_cache_hit());
+        let second = get(&proxy, "http://o.test/a.html");
+        assert!(second.is_cache_hit());
+        assert_eq!(second.body, first.body);
+        // Origin saw exactly one full fetch.
+        assert_eq!(origin.stats().full_responses.load(Ordering::Relaxed), 1);
+        let s = proxy.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn eviction_follows_the_size_policy() {
+        let (_origin, proxy) = setup(9_500, None);
+        get(&proxy, "http://o.test/a.html"); // 1000
+        get(&proxy, "http://o.test/b.gif"); // 3000
+        get(&proxy, "http://o.test/c.au"); // 6000 -> evicts c? no: inserting c (6000) needs room: 1000+3000+6000 = 10000 > 9500, SIZE evicts largest resident (b.gif 3000).
+        assert_eq!(proxy.cached_bytes(), 7000);
+        // a and c are hits; b was evicted and misses.
+        assert!(get(&proxy, "http://o.test/a.html").is_cache_hit());
+        assert!(get(&proxy, "http://o.test/c.au").is_cache_hit());
+        assert!(!get(&proxy, "http://o.test/b.gif").is_cache_hit());
+    }
+
+    #[test]
+    fn ttl_expiry_triggers_revalidation_not_refetch() {
+        let (origin, proxy) = setup(100_000, Some(1));
+        get(&proxy, "http://o.test/a.html");
+        // Advance the logical clock past the TTL with unrelated traffic.
+        get(&proxy, "http://o.test/b.gif");
+        get(&proxy, "http://o.test/c.au");
+        let r = get(&proxy, "http://o.test/a.html");
+        assert!(r.is_cache_hit(), "revalidated copy still served from cache");
+        assert_eq!(origin.stats().not_modified.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().revalidated, 1);
+    }
+
+    #[test]
+    fn modified_document_is_refetched_after_expiry() {
+        let (origin, proxy) = setup(100_000, Some(1));
+        let before = get(&proxy, "http://o.test/a.html");
+        origin.store().modify("http://o.test/a.html", 1500, 99);
+        get(&proxy, "http://o.test/b.gif"); // advance clock
+        get(&proxy, "http://o.test/c.au");
+        let after = get(&proxy, "http://o.test/a.html");
+        assert!(!after.is_cache_hit());
+        assert_eq!(after.body.len(), 1500);
+        assert_ne!(after.body, before.body);
+        // And the fresh copy serves as a hit again.
+        assert!(get(&proxy, "http://o.test/a.html").is_cache_hit());
+    }
+
+    #[test]
+    fn non_proxy_requests_are_rejected() {
+        let (_origin, proxy) = setup(100_000, None);
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        http::write_request(&mut s, &Request::get("/origin-form")).unwrap();
+        assert_eq!(http::read_response(&mut s).unwrap().status, 400);
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        let mut post = Request::get("http://o.test/a.html");
+        post.method = "POST".to_string();
+        http::write_request(&mut s, &post).unwrap();
+        assert_eq!(http::read_response(&mut s).unwrap().status, 501);
+    }
+
+    #[test]
+    fn access_log_is_clf_like() {
+        let (_origin, proxy) = setup(100_000, None);
+        get(&proxy, "http://o.test/a.html");
+        get(&proxy, "http://o.test/a.html");
+        let log = proxy.access_log();
+        assert!(log.contains("MISS"));
+        assert!(log.contains("HIT"));
+        assert_eq!(log.lines().count(), 2);
+    }
+
+    #[test]
+    fn hit_rate_accounts_revalidations() {
+        let mut s = ProxyStats {
+            requests: 4,
+            hits: 1,
+            revalidated: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), 0.5);
+        s.requests = 0;
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

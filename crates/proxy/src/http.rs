@@ -1,0 +1,322 @@
+//! A minimal HTTP/1.0 message layer: exactly what a 1996 CERN-style proxy
+//! needed — `GET`/conditional-`GET` requests, status-line responses, and
+//! `Content-Length` body framing. No chunked encoding, no keep-alive
+//! (HTTP/1.0 closes per request), no TLS.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Errors from reading or writing HTTP messages.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The message violated the subset of HTTP/1.0 we speak.
+    Malformed(String),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET` or `HEAD`.
+    pub method: String,
+    /// Request target: absolute URI (proxy form) or origin path.
+    pub target: String,
+    /// Header map, keys lower-cased.
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// A plain GET.
+    pub fn get(target: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            headers: BTreeMap::new(),
+        }
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers.insert(name.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// The `If-Modified-Since` epoch-seconds value, if present and valid.
+    /// (We transmit epoch seconds rather than RFC 1123 dates — both ends
+    /// are ours, and the trace timestamps are already relative seconds.)
+    pub fn if_modified_since(&self) -> Option<u64> {
+        self.headers.get("if-modified-since")?.parse().ok()
+    }
+}
+
+/// A response with its body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 304, 400, 404, 502, …).
+    pub status: u16,
+    /// Header map, keys lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes (empty for 304).
+    pub body: Bytes,
+}
+
+impl Response {
+    /// Build a 200 response with a body and optional `Last-Modified`.
+    pub fn ok(body: Bytes, last_modified: Option<u64>) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".to_string(), body.len().to_string());
+        if let Some(lm) = last_modified {
+            headers.insert("last-modified".to_string(), lm.to_string());
+        }
+        Response {
+            status: 200,
+            headers,
+            body,
+        }
+    }
+
+    /// A bodyless response with the given status.
+    pub fn status_only(status: u16) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".to_string(), "0".to_string());
+        Response {
+            status,
+            headers,
+            body: Bytes::new(),
+        }
+    }
+
+    /// The `Last-Modified` value, if present.
+    pub fn last_modified(&self) -> Option<u64> {
+        self.headers.get("last-modified")?.parse().ok()
+    }
+
+    /// Mark whether this response was served by a cache (an `X-Cache`
+    /// header, as real proxies emit).
+    pub fn with_cache_status(mut self, hit: bool) -> Response {
+        self.headers.insert(
+            "x-cache".to_string(),
+            if hit { "HIT" } else { "MISS" }.to_string(),
+        );
+        self
+    }
+
+    /// True if the response carries `X-Cache: HIT`.
+    pub fn is_cache_hit(&self) -> bool {
+        self.headers.get("x-cache").map(String::as_str) == Some("HIT")
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        501 => "Not Implemented",
+        502 => "Bad Gateway",
+        _ => "Unknown",
+    }
+}
+
+/// Read one request from a stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing target".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+    let headers = read_headers(&mut reader)?;
+    Ok(Request {
+        method,
+        target,
+        headers,
+    })
+}
+
+/// Write a request to a stream.
+pub fn write_request(stream: &mut TcpStream, req: &Request) -> Result<(), HttpError> {
+    let mut out = format!("{} {} HTTP/1.0\r\n", req.method, req.target);
+    for (k, v) in &req.headers {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    stream.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+/// Read a response (headers + `Content-Length` body) from a stream.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_ascii_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty status line".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed("bad status".into()))?;
+    let headers = read_headers(&mut reader)?;
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        headers,
+        body: Bytes::from(body),
+    })
+}
+
+/// Write a response to a stream.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<(), HttpError> {
+    let mut out = format!("HTTP/1.0 {} {}\r\n", resp.status, reason(resp.status));
+    for (k, v) in &resp.headers {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    stream.write_all(out.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+}
+
+/// Deterministic document body of a given size for a URL: the origin
+/// server's synthetic content.
+pub fn synthetic_body(url: &str, size: u64) -> Bytes {
+    let mut out = Vec::with_capacity(size as usize);
+    let seed = url.bytes().fold(0u64, |h, b| {
+        h.wrapping_mul(1_000_003).wrapping_add(b as u64)
+    });
+    let mut x = seed | 1;
+    while (out.len() as u64) < size {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.push((x & 0x7F) as u8);
+    }
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let (mut a, mut b) = pair();
+        let req = Request::get("http://server0.x.edu/doc1.html")
+            .with_header("If-Modified-Since", "12345");
+        write_request(&mut a, &req).unwrap();
+        let got = read_request(&mut b).unwrap();
+        assert_eq!(got.method, "GET");
+        assert_eq!(got.target, "http://server0.x.edu/doc1.html");
+        assert_eq!(got.if_modified_since(), Some(12345));
+    }
+
+    #[test]
+    fn response_round_trip_with_body() {
+        let (mut a, mut b) = pair();
+        let body = synthetic_body("http://s/x", 1000);
+        let resp = Response::ok(body.clone(), Some(77)).with_cache_status(true);
+        write_response(&mut b, &resp).unwrap();
+        let got = read_response(&mut a).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, body);
+        assert_eq!(got.last_modified(), Some(77));
+        assert!(got.is_cache_hit());
+    }
+
+    #[test]
+    fn bodyless_304_round_trip() {
+        let (mut a, mut b) = pair();
+        write_response(&mut b, &Response::status_only(304)).unwrap();
+        let got = read_response(&mut a).unwrap();
+        assert_eq!(got.status, 304);
+        assert!(got.body.is_empty());
+        assert!(!got.is_cache_hit());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let (mut a, mut b) = pair();
+        use std::io::Write as _;
+        a.write_all(b"BANANA\r\n\r\n").unwrap();
+        drop(a);
+        assert!(read_request(&mut b).is_err());
+    }
+
+    #[test]
+    fn synthetic_bodies_are_deterministic_and_sized() {
+        let a = synthetic_body("http://s/a", 500);
+        let b = synthetic_body("http://s/a", 500);
+        let c = synthetic_body("http://s/b", 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 500);
+        assert!(synthetic_body("x", 0).is_empty());
+    }
+}

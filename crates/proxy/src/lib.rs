@@ -1,0 +1,28 @@
+//! # webcache-proxy
+//!
+//! A working HTTP/1.0 caching proxy and synthetic origin server built on
+//! `webcache-core` — the deployment context the paper studies ("caching
+//! in the network itself through so-called proxy servers").
+//!
+//! * [`http`] — the minimal HTTP/1.0 message layer (GET, conditional GET,
+//!   `Content-Length` framing) over `std::net`. A threaded blocking
+//!   design: per the Rust networking guidance, an async runtime buys
+//!   nothing for a small number of short-lived loopback connections.
+//! * [`origin`] — an origin Web server over a mutable document store,
+//!   answering conditional GETs with `304 Not Modified`.
+//! * [`cache_proxy`] — the proxy: serves fresh copies from cache,
+//!   revalidates stale copies with conditional GETs, forwards misses, and
+//!   makes room using any [`webcache_core::policy::RemovalPolicy`].
+//!
+//! Integration tests at the workspace root drive generated workload
+//! traces through a real proxy/origin pair and check the hit counts match
+//! the simulator on the same request sequence.
+
+#![warn(missing_docs)]
+
+pub mod cache_proxy;
+pub mod http;
+pub mod origin;
+
+pub use cache_proxy::{ProxyConfig, ProxyServer, ProxyStats};
+pub use origin::{DocStore, OriginServer};

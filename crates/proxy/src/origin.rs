@@ -1,0 +1,289 @@
+//! A synthetic origin Web server: serves a document store over HTTP/1.0,
+//! including conditional GET (`If-Modified-Since` → `304 Not Modified`),
+//! the consistency mechanism section 1 of the paper describes.
+
+use crate::http::{self, Response};
+#[cfg(test)]
+use crate::http::Request;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One origin document.
+#[derive(Debug, Clone)]
+pub struct Doc {
+    /// Body bytes.
+    pub body: Bytes,
+    /// Last modification time (epoch-ish seconds; any monotone scale).
+    pub last_modified: u64,
+}
+
+/// Shared, mutable document store.
+#[derive(Debug, Default)]
+pub struct DocStore {
+    docs: Mutex<HashMap<String, Doc>>,
+}
+
+impl DocStore {
+    /// Empty store.
+    pub fn new() -> DocStore {
+        DocStore::default()
+    }
+
+    /// Insert or replace a document with synthetic content of `size`
+    /// bytes.
+    pub fn put_synthetic(&self, url: &str, size: u64, last_modified: u64) {
+        self.docs.lock().insert(
+            url.to_string(),
+            Doc {
+                body: http::synthetic_body(url, size),
+                last_modified,
+            },
+        );
+    }
+
+    /// Fetch a document.
+    pub fn get(&self, url: &str) -> Option<Doc> {
+        self.docs.lock().get(url).cloned()
+    }
+
+    /// Modify a document in place: new synthetic content of `new_size`,
+    /// bumping `last_modified`.
+    pub fn modify(&self, url: &str, new_size: u64, now: u64) -> bool {
+        let mut docs = self.docs.lock();
+        match docs.get_mut(url) {
+            Some(d) => {
+                // Vary the generator input so equal sizes still change
+                // content (the paper's same-size modification case).
+                d.body = http::synthetic_body(&format!("{url}#{now}"), new_size);
+                d.last_modified = now;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.lock().len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.lock().is_empty()
+    }
+}
+
+/// Counters the origin keeps (to measure how much traffic a cache saved —
+/// the paper's "number of requests that reach popular servers").
+#[derive(Debug, Default)]
+pub struct OriginStats {
+    /// Full-body 200 responses served.
+    pub full_responses: AtomicU64,
+    /// 304 Not Modified responses served.
+    pub not_modified: AtomicU64,
+    /// Body bytes sent.
+    pub bytes_sent: AtomicU64,
+}
+
+/// A running origin server.
+pub struct OriginServer {
+    addr: SocketAddr,
+    store: Arc<DocStore>,
+    stats: Arc<OriginStats>,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OriginServer {
+    /// Start an origin on an ephemeral localhost port.
+    pub fn start(store: Arc<DocStore>) -> std::io::Result<OriginServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(OriginStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    let store = Arc::clone(&store);
+                    let stats = Arc::clone(&stats);
+                    std::thread::spawn(move || {
+                        let _ = serve_one(&mut stream, &store, &stats);
+                    });
+                }
+            })
+        };
+        Ok(OriginServer {
+            addr,
+            store,
+            stats,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The origin's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The document store (shared; mutable through interior locking).
+    pub fn store(&self) -> &Arc<DocStore> {
+        &self.store
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &OriginStats {
+        &self.stats
+    }
+}
+
+impl Drop for OriginServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Resolve a proxy-form target (`http://host/path`) or origin-form path
+/// against the store's keys: the store is keyed by full URL, so
+/// origin-form requests are matched by suffix.
+fn lookup(store: &DocStore, target: &str) -> Option<(String, Doc)> {
+    if let Some(d) = store.get(target) {
+        return Some((target.to_string(), d));
+    }
+    // Origin-form: match any stored URL whose path component equals it.
+    if target.starts_with('/') {
+        let docs = store.docs.lock();
+        for (url, d) in docs.iter() {
+            if let Some(rest) = url.strip_prefix("http://") {
+                if let Some(idx) = rest.find('/') {
+                    if &rest[idx..] == target {
+                        return Some((url.clone(), d.clone()));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn serve_one(
+    stream: &mut TcpStream,
+    store: &DocStore,
+    stats: &OriginStats,
+) -> Result<(), crate::http::HttpError> {
+    let req = http::read_request(stream)?;
+    if req.method != "GET" && req.method != "HEAD" {
+        return http::write_response(stream, &Response::status_only(501));
+    }
+    let Some((_, doc)) = lookup(store, &req.target) else {
+        return http::write_response(stream, &Response::status_only(404));
+    };
+    // Conditional GET: "P sends an HTTP conditional GET message to S
+    // containing the Last-Modified time of its copy; if the original was
+    // modified after that time, S replies with the new version."
+    if let Some(since) = req.if_modified_since() {
+        if doc.last_modified <= since {
+            stats.not_modified.fetch_add(1, Ordering::Relaxed);
+            return http::write_response(stream, &Response::status_only(304));
+        }
+    }
+    stats.full_responses.fetch_add(1, Ordering::Relaxed);
+    stats
+        .bytes_sent
+        .fetch_add(doc.body.len() as u64, Ordering::Relaxed);
+    let body = if req.method == "HEAD" {
+        Bytes::new()
+    } else {
+        doc.body.clone()
+    };
+    let mut resp = Response::ok(body, Some(doc.last_modified));
+    if req.method == "HEAD" {
+        resp.headers
+            .insert("content-length".to_string(), "0".to_string());
+    }
+    http::write_response(stream, &resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_response, write_request};
+
+    fn fetch(addr: SocketAddr, req: &Request) -> Response {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_request(&mut s, req).unwrap();
+        read_response(&mut s).unwrap()
+    }
+
+    fn start() -> OriginServer {
+        let store = Arc::new(DocStore::new());
+        store.put_synthetic("http://origin.test/a.html", 1200, 100);
+        OriginServer::start(store).unwrap()
+    }
+
+    #[test]
+    fn serves_documents_with_last_modified() {
+        let o = start();
+        let r = fetch(o.addr(), &Request::get("http://origin.test/a.html"));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.len(), 1200);
+        assert_eq!(r.last_modified(), Some(100));
+        assert_eq!(o.stats().full_responses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn conditional_get_returns_304_when_unmodified() {
+        let o = start();
+        let req = Request::get("http://origin.test/a.html").with_header("If-Modified-Since", "100");
+        let r = fetch(o.addr(), &req);
+        assert_eq!(r.status, 304);
+        assert!(r.body.is_empty());
+        assert_eq!(o.stats().not_modified.load(Ordering::Relaxed), 1);
+        // Stale copy: full response.
+        let req = Request::get("http://origin.test/a.html").with_header("If-Modified-Since", "50");
+        assert_eq!(fetch(o.addr(), &req).status, 200);
+    }
+
+    #[test]
+    fn modification_changes_body_and_lm() {
+        let o = start();
+        let before = fetch(o.addr(), &Request::get("http://origin.test/a.html"));
+        assert!(o.store().modify("http://origin.test/a.html", 1200, 500));
+        let after = fetch(o.addr(), &Request::get("http://origin.test/a.html"));
+        assert_eq!(after.last_modified(), Some(500));
+        assert_ne!(before.body, after.body, "same-size modification must change content");
+        assert!(!o.store().modify("http://nope/", 1, 1));
+    }
+
+    #[test]
+    fn unknown_documents_404_and_bad_methods_501() {
+        let o = start();
+        assert_eq!(fetch(o.addr(), &Request::get("http://origin.test/zzz")).status, 404);
+        let mut req = Request::get("http://origin.test/a.html");
+        req.method = "POST".to_string();
+        assert_eq!(fetch(o.addr(), &req).status, 501);
+    }
+
+    #[test]
+    fn origin_form_requests_resolve_by_path() {
+        let o = start();
+        let r = fetch(o.addr(), &Request::get("/a.html"));
+        assert_eq!(r.status, 200);
+    }
+}

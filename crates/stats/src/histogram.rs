@@ -1,0 +1,163 @@
+//! Histograms: the document-size distribution of Fig. 13 (linear bins)
+//! and log-binned variants for heavy-tailed data.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower edge of each bin.
+    pub edges: Vec<u64>,
+    /// Count per bin; `counts[i]` covers `edges[i] ..
+    /// edges[i+1]` (last bin extends to the configured maximum).
+    pub counts: Vec<u64>,
+    /// Observations above the last edge's bin.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Linear bins of `width` from 0 to `max` (Fig. 13 uses widths around
+    /// 250 bytes up to 20 kB). Values ≥ `max` land in `overflow`.
+    pub fn linear(values: &[u64], width: u64, max: u64) -> Histogram {
+        assert!(width > 0 && max >= width);
+        let nbins = max.div_ceil(width) as usize;
+        let mut counts = vec![0u64; nbins];
+        let mut overflow = 0;
+        for &v in values {
+            if v >= max {
+                overflow += 1;
+            } else {
+                counts[(v / width) as usize] += 1;
+            }
+        }
+        Histogram {
+            edges: (0..nbins as u64).map(|i| i * width).collect(),
+            counts,
+            overflow,
+        }
+    }
+
+    /// Power-of-two bins: bin `i` covers `[2^i, 2^(i+1))`, with a zero bin
+    /// first. Natural for document sizes spanning bytes to megabytes.
+    pub fn log2(values: &[u64]) -> Histogram {
+        let max_bin = values
+            .iter()
+            .map(|&v| if v == 0 { 0 } else { v.ilog2() as usize + 1 })
+            .max()
+            .unwrap_or(0);
+        let mut counts = vec![0u64; max_bin + 1];
+        for &v in values {
+            let bin = if v == 0 { 0 } else { v.ilog2() as usize + 1 };
+            counts[bin] += 1;
+        }
+        let mut edges = vec![0u64];
+        edges.extend((0..max_bin as u32).map(|i| 1u64 << i));
+        Histogram {
+            edges,
+            counts,
+            overflow: 0,
+        }
+    }
+
+    /// Total observations, including overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// The lower edge of the fullest bin — where the distribution's mass
+    /// concentrates (the paper: "the mass is concentrated in file sizes of
+    /// under 1KB").
+    pub fn mode_bin_edge(&self) -> Option<u64> {
+        if self.total() == 0 {
+            return None;
+        }
+        let (i, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)?;
+        Some(self.edges[i])
+    }
+
+    /// Fraction of (non-overflow) observations at or below `value`,
+    /// resolved at bin granularity (whole bins whose range lies within
+    /// `..=value` count fully; the straddling bin counts proportionally).
+    pub fn cumulative_fraction_below(&self, value: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let lo = self.edges[i];
+            let hi = self
+                .edges
+                .get(i + 1)
+                .copied()
+                .unwrap_or_else(|| self.edges[i].saturating_mul(2).max(lo + 1));
+            if hi <= value {
+                acc += count as f64;
+            } else if lo <= value {
+                let span = (hi - lo).max(1) as f64;
+                acc += count as f64 * ((value - lo + 1) as f64 / span).min(1.0);
+            }
+        }
+        acc / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bins_count_correctly() {
+        let h = Histogram::linear(&[0, 100, 250, 499, 500, 999, 5000], 250, 1000);
+        assert_eq!(h.counts, vec![2, 2, 1, 1]);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.edges, vec![0, 250, 500, 750]);
+    }
+
+    #[test]
+    fn log2_bins_are_powers_of_two() {
+        let h = Histogram::log2(&[0, 1, 2, 3, 4, 1024, 1500]);
+        // bins: {0}, [1,2), [2,4), [4,8), ... [1024,2048)
+        assert_eq!(h.counts[0], 1); // 0
+        assert_eq!(h.counts[1], 1); // 1
+        assert_eq!(h.counts[2], 2); // 2,3
+        assert_eq!(h.counts[3], 1); // 4
+        assert_eq!(*h.counts.last().unwrap(), 2); // 1024, 1500
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn mode_bin_finds_concentration() {
+        let mut sizes = vec![100u64; 50]; // heavy mass under 250
+        sizes.extend(vec![10_000u64; 5]);
+        let h = Histogram::linear(&sizes, 250, 20_000);
+        assert_eq!(h.mode_bin_edge(), Some(0));
+    }
+
+    #[test]
+    fn cumulative_fraction_is_monotone() {
+        let sizes: Vec<u64> = (0..1000).map(|i| i * 10).collect();
+        let h = Histogram::linear(&sizes, 100, 10_000);
+        let f1 = h.cumulative_fraction_below(1000);
+        let f2 = h.cumulative_fraction_below(5000);
+        let f3 = h.cumulative_fraction_below(9999);
+        assert!(f1 < f2 && f2 < f3);
+        assert!(f3 <= 1.0);
+        assert!((f2 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_histograms_are_sane() {
+        let h = Histogram::linear(&[], 10, 100);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.cumulative_fraction_below(50), 0.0);
+        let h2 = Histogram::log2(&[]);
+        assert_eq!(h2.total(), 0);
+        assert_eq!(h2.mode_bin_edge(), None);
+    }
+}

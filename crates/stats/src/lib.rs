@@ -1,0 +1,28 @@
+//! # webcache-stats
+//!
+//! Statistics and reporting for the SIGCOMM '96 removal-policy
+//! reproduction:
+//!
+//! * [`series`] — daily HR/WHR series with the paper's 7-day moving
+//!   average (calendar and recorded-days variants) and the
+//!   percent-of-reference transform behind Figs. 8-12 and 15.
+//! * [`zipf`] — rank-frequency power-law fits for Figs. 1-2.
+//! * [`histogram`] — document-size histograms (Fig. 13).
+//! * [`scatter`] — size/interreference summaries (Fig. 14).
+//! * [`summary`] — descriptive statistics and bootstrap CIs for the
+//!   multi-seed replication runs.
+//! * [`report`] — aligned ASCII tables, CSV export, ASCII line plots.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod report;
+pub mod scatter;
+pub mod series;
+pub mod summary;
+pub mod zipf;
+
+pub use histogram::Histogram;
+pub use report::Table;
+pub use series::{ratio_percent, DailySeries};
+pub use zipf::ZipfFit;

@@ -1,0 +1,196 @@
+//! Plain-text report rendering: aligned ASCII tables, CSV export, and a
+//! small ASCII line plot for eyeballing the figure series in a terminal.
+
+use crate::series::DailySeries;
+use std::fmt::Write as _;
+
+/// An aligned ASCII table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; it must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns (first column left-aligned, the rest
+    /// right-aligned, as in the paper's tables).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", cell, w = widths[i]);
+                } else {
+                    let _ = write!(out, "{:>w$}", cell, w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting of commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &String| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(&quote).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with two decimals (`"47.43"`), the
+/// paper's table style.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}", fraction * 100.0)
+}
+
+/// Format bytes in the unit the paper uses for cache sizes (MB, where
+/// 1 MB = 2^20 bytes), one decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1u64 << 20) as f64)
+}
+
+/// Render one or more daily series as an ASCII line chart, `height` rows
+/// tall, with y-range `[lo, hi]`. Each series draws with its own glyph.
+pub fn ascii_plot(series: &[(&str, &DailySeries)], height: usize, lo: f64, hi: f64) -> String {
+    assert!(height >= 2 && hi > lo);
+    let width = series
+        .iter()
+        .map(|(_, s)| s.len())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (day, v) in s.points() {
+            let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row][day.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y = hi - (hi - lo) * i as f64 / (height - 1) as f64;
+        let _ = writeln!(out, "{:>7.1} |{}", y, row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "        +{}", "-".repeat(width));
+    let mut legend = String::from("         ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = write!(legend, "{}={}  ", GLYPHS[si % GLYPHS.len()], name);
+    }
+    out.push_str(legend.trim_end());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["Workload", "HR", "WHR"]);
+        t.row(vec!["U", "50.1", "48.9"]);
+        t.row(vec!["BR", "98.0", "95.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Workload"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right alignment of numeric columns.
+        assert!(lines[2].contains("50.1"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["name", "note"]);
+        t.row(vec!["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.4743), "47.43");
+        assert_eq!(mb(221 * (1 << 20)), "221.0");
+    }
+
+    #[test]
+    fn ascii_plot_places_points() {
+        let s = DailySeries::dense(vec![0.0, 50.0, 100.0]);
+        let plot = ascii_plot(&[("hr", &s)], 5, 0.0, 100.0);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Top row holds the 100.0 point (day 2), bottom row the 0.0 point.
+        assert!(lines[0].ends_with("  *") || lines[0].contains('*'));
+        assert!(lines[4].contains('*'));
+        assert!(plot.contains("*=hr"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Scatter-plot analysis for Fig. 14 (document size vs. interreference
+//! time).
+//!
+//! The paper reads two things off this plot: the *center of mass* "lies in
+//! a region with relatively small size (just over 1kB) but large
+//! interreference time (about 15,000 seconds)", and the marginal histogram
+//! of interreference times has its mass at long times — i.e., the
+//! temporal locality LRU relies on is weak. This module computes those
+//! summaries from the raw `(size, interreference)` pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a `(size, interreference_time)` point cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScatterSummary {
+    /// Number of points.
+    pub n: usize,
+    /// Geometric mean of sizes (bytes) — the log-space center of mass the
+    /// paper reads off its log-log plot.
+    pub geo_mean_size: f64,
+    /// Geometric mean of interreference times (seconds).
+    pub geo_mean_interref: f64,
+    /// Median size.
+    pub median_size: u64,
+    /// Median interreference time.
+    pub median_interref: u64,
+    /// Fraction of points with interreference time below one hour —
+    /// the short-time mass a temporally-local trace would concentrate.
+    pub frac_interref_under_hour: f64,
+}
+
+/// Compute the summary. Zero values participate in medians/fractions but
+/// are excluded from geometric means (log undefined).
+pub fn summarize(points: &[(u64, u64)]) -> Option<ScatterSummary> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut sizes: Vec<u64> = points.iter().map(|&(s, _)| s).collect();
+    let mut times: Vec<u64> = points.iter().map(|&(_, t)| t).collect();
+    sizes.sort_unstable();
+    times.sort_unstable();
+    let geo = |v: &[u64]| {
+        let logs: Vec<f64> = v
+            .iter()
+            .filter(|&&x| x > 0)
+            .map(|&x| (x as f64).ln())
+            .collect();
+        if logs.is_empty() {
+            0.0
+        } else {
+            (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+        }
+    };
+    let under_hour = times.iter().filter(|&&t| t < 3600).count();
+    Some(ScatterSummary {
+        n: points.len(),
+        geo_mean_size: geo(&sizes),
+        geo_mean_interref: geo(&times),
+        median_size: sizes[sizes.len() / 2],
+        median_interref: times[times.len() / 2],
+        frac_interref_under_hour: under_hour as f64 / points.len() as f64,
+    })
+}
+
+/// Thin a scatter to at most `max_points` points for plotting, keeping a
+/// deterministic stride so the shape is preserved.
+pub fn thin(points: &[(u64, u64)], max_points: usize) -> Vec<(u64, u64)> {
+    if points.len() <= max_points || max_points == 0 {
+        return points.to_vec();
+    }
+    let stride = points.len().div_ceil(max_points);
+    points.iter().step_by(stride).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_cloud() {
+        // 3 points: sizes 100, 1000, 10000 → geo mean 1000.
+        let pts = vec![(100, 10), (1000, 1000), (10_000, 100_000)];
+        let s = summarize(&pts).unwrap();
+        assert!((s.geo_mean_size - 1000.0).abs() < 1e-6);
+        assert!((s.geo_mean_interref - 1000.0).abs() < 1e-6);
+        assert_eq!(s.median_size, 1000);
+        assert_eq!(s.median_interref, 1000);
+        assert!((s.frac_interref_under_hour - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cloud_yields_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn zeros_do_not_poison_geometric_means() {
+        let s = summarize(&[(0, 0), (100, 100)]).unwrap();
+        assert!((s.geo_mean_size - 100.0).abs() < 1e-9);
+        assert!((s.geo_mean_interref - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thin_preserves_endpoints_roughly_and_bounds_count() {
+        let pts: Vec<(u64, u64)> = (0..1000).map(|i| (i, i * 2)).collect();
+        let t = thin(&pts, 100);
+        assert!(t.len() <= 100);
+        assert_eq!(t[0], (0, 0));
+        let short = thin(&pts[..5], 100);
+        assert_eq!(short.len(), 5);
+    }
+}

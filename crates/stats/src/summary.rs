@@ -1,0 +1,150 @@
+//! Descriptive statistics for experiment outputs: quantiles, moments, and
+//! bootstrap confidence intervals for the multi-seed replication runs
+//! (the paper reported single-trace numbers; we quantify the spread).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Linear-interpolated quantile of a *sorted* slice, `q` in `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Compute the summary of a sample. Returns `None` for an empty sample.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    };
+    Some(Summary {
+        n,
+        mean,
+        stddev: var.sqrt(),
+        min: sorted[0],
+        q1: quantile_sorted(&sorted, 0.25),
+        median: quantile_sorted(&sorted, 0.5),
+        q3: quantile_sorted(&sorted, 0.75),
+        max: sorted[n - 1],
+    })
+}
+
+/// Percentile bootstrap confidence interval for the mean, deterministic
+/// for a given seed. Returns `(lo, hi)` at the given confidence level
+/// (e.g. 0.95); `None` for an empty sample.
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    if values.is_empty() || resamples == 0 {
+        return None;
+    }
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0);
+    // SplitMix64 stream: self-contained, no rand dependency needed here.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..values.len() {
+            acc += values[(next() % values.len() as u64) as usize];
+        }
+        means.push(acc / values.len() as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let alpha = (1.0 - confidence) / 2.0;
+    Some((
+        quantile_sorted(&means, alpha),
+        quantile_sorted(&means, 1.0 - alpha),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.stddev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert!(summarize(&[]).is_none());
+        let one = summarize(&[7.0]).unwrap();
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.median, 7.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&[42.0], 0.3), 42.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean_and_narrows() {
+        let sample: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let mean = 4.5;
+        let (lo, hi) = bootstrap_mean_ci(&sample, 0.95, 500, 1).unwrap();
+        assert!(lo <= mean && mean <= hi, "[{lo}, {hi}]");
+        assert!(hi - lo < 2.0, "CI too wide: [{lo}, {hi}]");
+        // Deterministic for a seed.
+        assert_eq!(bootstrap_mean_ci(&sample, 0.95, 500, 1).unwrap(), (lo, hi));
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, 1).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Zipf rank-frequency analysis (Figs. 1-2 and the section 2.2 discussion:
+//! "the number of requests to each server in workload BL follows a Zipf
+//! distribution").
+//!
+//! Given descending counts (requests per server, bytes per URL), this
+//! module produces log-log rank/count points and fits a power law
+//! `count ≈ C · rank^(-alpha)` by least squares in log space. A Zipf
+//! distribution proper has `alpha ≈ 1`.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a power-law fit on rank-count data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZipfFit {
+    /// Exponent `alpha` of `count ∝ rank^(-alpha)`.
+    pub alpha: f64,
+    /// `log10` of the constant `C`.
+    pub log10_c: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r_squared: f64,
+    /// Number of ranks used.
+    pub n: usize,
+}
+
+/// Fit `count ≈ C · rank^(-alpha)` to descending counts by linear
+/// regression of `log10 count` on `log10 rank`. Zero counts are skipped.
+/// Returns `None` with fewer than two usable points.
+pub fn fit(desc_counts: &[u64]) -> Option<ZipfFit> {
+    let pts: Vec<(f64, f64)> = desc_counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (((i + 1) as f64).log10(), (c as f64).log10()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (mx, my) = (sx / n, sy / n);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in &pts {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(ZipfFit {
+        alpha: -slope,
+        log10_c: my - slope * mx,
+        r_squared,
+        n: pts.len(),
+    })
+}
+
+/// `(rank, count)` points for plotting a Fig. 1/2-style log-log curve,
+/// thinned to roughly `max_points` geometrically spaced ranks.
+pub fn rank_points(desc_counts: &[u64], max_points: usize) -> Vec<(usize, u64)> {
+    if desc_counts.is_empty() || max_points == 0 {
+        return Vec::new();
+    }
+    if desc_counts.len() <= max_points {
+        return desc_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i + 1, c))
+            .collect();
+    }
+    let ratio = (desc_counts.len() as f64).powf(1.0 / (max_points as f64 - 1.0));
+    let mut out = Vec::with_capacity(max_points);
+    let mut last = 0usize;
+    let mut r = 1.0f64;
+    for _ in 0..max_points {
+        let rank = (r.round() as usize).clamp(1, desc_counts.len());
+        if rank > last {
+            out.push((rank, desc_counts[rank - 1]));
+            last = rank;
+        }
+        r *= ratio;
+    }
+    if last < desc_counts.len() {
+        out.push((desc_counts.len(), *desc_counts.last().unwrap()));
+    }
+    out
+}
+
+/// How many items cover `fraction` of the total (the paper's
+/// "approximately 290 URLs of 36,771 … returned 50% of the total requested
+/// bytes"). Input must be descending.
+pub fn coverage_count(desc_counts: &[u64], fraction: f64) -> usize {
+    assert!((0.0..=1.0).contains(&fraction));
+    let total: u64 = desc_counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = total as f64 * fraction;
+    let mut acc = 0.0;
+    for (i, &c) in desc_counts.iter().enumerate() {
+        acc += c as f64;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    desc_counts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_power_law() {
+        // count = 10_000 / rank  (alpha = 1)
+        let counts: Vec<u64> = (1..=1000u64).map(|r| 10_000 / r).collect();
+        let f = fit(&counts).unwrap();
+        assert!((f.alpha - 1.0).abs() < 0.08, "alpha {}", f.alpha);
+        assert!(f.r_squared > 0.98);
+    }
+
+    #[test]
+    fn fit_recovers_steeper_exponent() {
+        let counts: Vec<u64> = (1..=500u64)
+            .map(|r| (1e9 / (r as f64).powf(2.0)) as u64)
+            .collect();
+        let f = fit(&counts).unwrap();
+        assert!((f.alpha - 2.0).abs() < 0.05, "alpha {}", f.alpha);
+    }
+
+    #[test]
+    fn fit_requires_two_points_and_variation() {
+        assert!(fit(&[]).is_none());
+        assert!(fit(&[5]).is_none());
+        assert!(fit(&[5, 5]).is_some());
+        assert!(fit(&[0, 0, 5]).is_none(), "one usable point");
+    }
+
+    #[test]
+    fn coverage_count_finds_the_head() {
+        // One giant, many small: the giant alone covers 50%.
+        let mut counts = vec![1000u64];
+        counts.extend(std::iter::repeat(10).take(100));
+        assert_eq!(coverage_count(&counts, 0.5), 1);
+        assert_eq!(coverage_count(&counts, 1.0), 101);
+        assert_eq!(coverage_count(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn rank_points_thin_geometrically_and_keep_endpoints() {
+        let counts: Vec<u64> = (0..10_000u64).map(|i| 10_000 - i).collect();
+        let pts = rank_points(&counts, 20);
+        assert!(pts.len() <= 22);
+        assert_eq!(pts.first().unwrap().0, 1);
+        assert_eq!(pts.last().unwrap().0, 10_000);
+        // Ranks strictly increase.
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0));
+        // Short inputs pass through untouched.
+        let short = rank_points(&[9, 5, 1], 20);
+        assert_eq!(short, vec![(1, 9), (2, 5), (3, 1)]);
+    }
+}

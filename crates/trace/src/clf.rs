@@ -1,0 +1,318 @@
+//! Common Log Format (CLF) reading and writing.
+//!
+//! Workloads U, G and C in the paper come from CERN proxy logs, and the
+//! tcpdump-derived BR/BL workloads were converted into "common log format
+//! ... augmented by additional fields" so that standard analysis tools would
+//! work on them. This module implements the same interchange:
+//!
+//! ```text
+//! remotehost ident authuser [dd/Mon/yyyy:HH:MM:SS +0000] "GET url HTTP/1.0" status bytes
+//! ```
+//!
+//! plus an optional trailing `last-modified=<epoch-seconds>` extension field
+//! mirroring the augmented logs used for BR/BL.
+//!
+//! Timestamps inside one log file are converted to seconds relative to a
+//! caller-supplied epoch so that simulation always works in trace-relative
+//! time.
+
+use crate::record::{RawRequest, Timestamp};
+use std::fmt::Write as _;
+
+/// Error produced while parsing a CLF line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClfError {
+    /// The line did not have the expected bracketed/quoted structure.
+    Malformed(String),
+    /// The `[date]` field could not be parsed.
+    BadDate(String),
+    /// The request field was not a `GET`/`HEAD`/`POST` line.
+    BadRequest(String),
+    /// A numeric field (status or size) failed to parse.
+    BadNumber(String),
+}
+
+impl std::fmt::Display for ClfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClfError::Malformed(l) => write!(f, "malformed CLF line: {l:?}"),
+            ClfError::BadDate(d) => write!(f, "unparseable CLF date: {d:?}"),
+            ClfError::BadRequest(r) => write!(f, "unparseable request field: {r:?}"),
+            ClfError::BadNumber(n) => write!(f, "unparseable numeric field: {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClfError {}
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Days from 1970-01-01 to `y-m-d` (proleptic Gregorian). Negative before
+/// the epoch. This is Howard Hinnant's `days_from_civil` algorithm.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Inverse of [`days_from_civil`]: civil `(y, m, d)` for a day count.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse a CLF date body (without brackets), e.g.
+/// `17/Sep/1995:08:01:02 +0000`, to Unix epoch seconds. Only the `+0000`
+/// offset is accepted: the paper's logs are from a single collection site,
+/// and we normalise to UTC when writing.
+pub fn parse_clf_date(s: &str) -> Result<i64, ClfError> {
+    let err = || ClfError::BadDate(s.to_string());
+    let (datetime, _offset) = s.split_once(' ').ok_or_else(err)?;
+    let mut parts = datetime.splitn(4, [':', '/']);
+    // dd/Mon/yyyy:HH:MM:SS splits on '/' and ':' as dd, Mon, yyyy, HH:MM:SS
+    let d: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let mon = parts.next().ok_or_else(err)?;
+    let y: i64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let hms = parts.next().ok_or_else(err)?;
+    let m = MONTHS
+        .iter()
+        .position(|&name| name.eq_ignore_ascii_case(mon))
+        .ok_or_else(err)? as u32
+        + 1;
+    let mut hms_it = hms.split(':');
+    let hh: i64 = hms_it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let mm: i64 = hms_it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let ss: i64 = hms_it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    if d == 0 || d > 31 || hh > 23 || mm > 59 || ss > 60 {
+        return Err(err());
+    }
+    Ok(days_from_civil(y, m, d) * 86_400 + hh * 3600 + mm * 60 + ss)
+}
+
+/// Format Unix epoch seconds as a CLF date body with a `+0000` offset.
+pub fn format_clf_date(epoch: i64) -> String {
+    let days = epoch.div_euclid(86_400);
+    let secs = epoch.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{:02}/{}/{:04}:{:02}:{:02}:{:02} +0000",
+        d,
+        MONTHS[(m - 1) as usize],
+        y,
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// Parse one CLF line into a [`RawRequest`].
+///
+/// `epoch` is the absolute Unix time corresponding to trace time zero;
+/// entries earlier than `epoch` are clamped to time zero.
+pub fn parse_line(line: &str, epoch: i64) -> Result<RawRequest, ClfError> {
+    let malformed = || ClfError::Malformed(line.to_string());
+    let line = line.trim_end();
+    // remotehost ident authuser [date] "request" status bytes [extensions]
+    let (head, rest) = line.split_once('[').ok_or_else(malformed)?;
+    let mut head_it = head.split_ascii_whitespace();
+    let client = head_it.next().ok_or_else(malformed)?.to_string();
+    let _ident = head_it.next().ok_or_else(malformed)?;
+    let _authuser = head_it.next().ok_or_else(malformed)?;
+    let (date, rest) = rest.split_once(']').ok_or_else(malformed)?;
+    let abs_time = parse_clf_date(date)?;
+    let time: Timestamp = (abs_time - epoch).max(0) as Timestamp;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"').ok_or_else(malformed)?;
+    let (request, rest) = rest.split_once('"').ok_or_else(malformed)?;
+    let mut req_it = request.split_ascii_whitespace();
+    let method = req_it.next().ok_or_else(|| ClfError::BadRequest(request.to_string()))?;
+    if !matches!(method, "GET" | "HEAD" | "POST") {
+        return Err(ClfError::BadRequest(request.to_string()));
+    }
+    let url = req_it
+        .next()
+        .ok_or_else(|| ClfError::BadRequest(request.to_string()))?
+        .to_string();
+    let mut tail = rest.split_ascii_whitespace();
+    let status_s = tail.next().ok_or_else(malformed)?;
+    let status: u16 = status_s
+        .parse()
+        .map_err(|_| ClfError::BadNumber(status_s.to_string()))?;
+    let size_s = tail.next().ok_or_else(malformed)?;
+    let size: u64 = if size_s == "-" {
+        0
+    } else {
+        size_s
+            .parse()
+            .map_err(|_| ClfError::BadNumber(size_s.to_string()))?
+    };
+    let mut last_modified = None;
+    for field in tail {
+        if let Some(v) = field.strip_prefix("last-modified=") {
+            let lm: i64 = v.parse().map_err(|_| ClfError::BadNumber(v.to_string()))?;
+            last_modified = Some((lm - epoch).max(0) as Timestamp);
+        }
+    }
+    Ok(RawRequest {
+        time,
+        client,
+        url,
+        status,
+        size,
+        last_modified,
+    })
+}
+
+/// Format a [`RawRequest`] as a CLF line (with the `last-modified=`
+/// extension when present). `epoch` is the absolute Unix time of trace
+/// time zero, as for [`parse_line`].
+pub fn format_line(req: &RawRequest, epoch: i64) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{} - - [{}] \"GET {} HTTP/1.0\" {} {}",
+        req.client,
+        format_clf_date(epoch + req.time as i64),
+        req.url,
+        req.status,
+        req.size
+    );
+    if let Some(lm) = req.last_modified {
+        let _ = write!(out, " last-modified={}", epoch + lm as i64);
+    }
+    out
+}
+
+/// Parse a whole CLF log, skipping blank lines; returns requests plus the
+/// number of unparseable lines skipped.
+pub fn parse_log(text: &str, epoch: i64) -> (Vec<RawRequest>, usize) {
+    let mut out = Vec::new();
+    let mut bad = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line, epoch) {
+            Ok(r) => out.push(r),
+            Err(_) => bad += 1,
+        }
+    }
+    (out, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unix time of 1995-09-17 00:00:00 UTC, the start of the BR/BL
+    /// collection period.
+    pub const EPOCH_1995_09_17: i64 = 811_296_000;
+
+    #[test]
+    fn civil_date_round_trips() {
+        for &z in &[-719_468, -1, 0, 1, 9_399, 719_468, 2_932_896] {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "day {z}");
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1995, 9, 17) * 86_400, EPOCH_1995_09_17);
+    }
+
+    #[test]
+    fn date_parse_and_format_round_trip() {
+        let s = "17/Sep/1995:08:01:02 +0000";
+        let t = parse_clf_date(s).unwrap();
+        assert_eq!(format_clf_date(t), s);
+        assert_eq!(t, EPOCH_1995_09_17 + 8 * 3600 + 62);
+    }
+
+    #[test]
+    fn date_rejects_garbage() {
+        assert!(parse_clf_date("17/Xxx/1995:08:01:02 +0000").is_err());
+        assert!(parse_clf_date("banana").is_err());
+        assert!(parse_clf_date("40/Sep/1995:08:01:02 +0000").is_err());
+        assert!(parse_clf_date("17/Sep/1995:25:01:02 +0000").is_err());
+    }
+
+    #[test]
+    fn line_parses_common_format() {
+        let line = r#"burrow.cs.vt.edu - - [17/Sep/1995:08:01:02 +0000] "GET http://www.cs.vt.edu/info.html HTTP/1.0" 200 4913"#;
+        let r = parse_line(line, EPOCH_1995_09_17).unwrap();
+        assert_eq!(r.client, "burrow.cs.vt.edu");
+        assert_eq!(r.url, "http://www.cs.vt.edu/info.html");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.size, 4913);
+        assert_eq!(r.time, 8 * 3600 + 62);
+        assert_eq!(r.last_modified, None);
+    }
+
+    #[test]
+    fn line_parses_extension_fields() {
+        let line = format!(
+            r#"h - - [17/Sep/1995:00:00:10 +0000] "GET http://s/x.gif HTTP/1.0" 200 99 last-modified={}"#,
+            EPOCH_1995_09_17 - 100
+        );
+        let r = parse_line(&line, EPOCH_1995_09_17).unwrap();
+        // A modification before the trace epoch clamps to 0.
+        assert_eq!(r.last_modified, Some(0));
+    }
+
+    #[test]
+    fn line_parses_dash_size_as_zero() {
+        let line = r#"h - - [17/Sep/1995:00:00:10 +0000] "GET http://s/x HTTP/1.0" 304 -"#;
+        let r = parse_line(line, EPOCH_1995_09_17).unwrap();
+        assert_eq!(r.size, 0);
+        assert_eq!(r.status, 304);
+    }
+
+    #[test]
+    fn line_rejects_malformed_input() {
+        assert!(parse_line("", 0).is_err());
+        assert!(parse_line("too few fields", 0).is_err());
+        let no_quote = r#"h - - [17/Sep/1995:00:00:10 +0000] GET http://s/x HTTP/1.0 200 10"#;
+        assert!(parse_line(no_quote, EPOCH_1995_09_17).is_err());
+        let bad_method = r#"h - - [17/Sep/1995:00:00:10 +0000] "FROB http://s/x HTTP/1.0" 200 10"#;
+        assert!(parse_line(bad_method, EPOCH_1995_09_17).is_err());
+    }
+
+    #[test]
+    fn format_then_parse_round_trips() {
+        let req = RawRequest {
+            time: 123_456,
+            client: "lab3.cs.vt.edu".into(),
+            url: "http://ei.cs.vt.edu/~mmm/song.au".into(),
+            status: 200,
+            size: 1_234_567,
+            last_modified: Some(3),
+        };
+        let line = format_line(&req, EPOCH_1995_09_17);
+        let back = parse_line(&line, EPOCH_1995_09_17).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn parse_log_counts_bad_lines() {
+        let text = format!(
+            "{}\nnot a log line\n\n{}\n",
+            r#"a - - [17/Sep/1995:00:00:01 +0000] "GET http://s/a HTTP/1.0" 200 10"#,
+            r#"b - - [17/Sep/1995:00:00:02 +0000] "GET http://s/b HTTP/1.0" 404 0"#
+        );
+        let (reqs, bad) = parse_log(&text, EPOCH_1995_09_17);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(bad, 1);
+    }
+}

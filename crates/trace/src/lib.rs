@@ -1,0 +1,32 @@
+//! # webcache-trace
+//!
+//! Web request trace model for the reproduction of Williams, Abrams,
+//! Standridge, Abdulla & Fox, *Removal Policies in Network Caches for
+//! World-Wide Web Documents* (SIGCOMM 1996).
+//!
+//! This crate provides:
+//!
+//! * [`record`] — the shared vocabulary types: [`record::Request`],
+//!   [`record::DocType`], interned [`record::UrlId`]s, timestamps.
+//! * [`clf`] — Common Log Format parsing/formatting, including the
+//!   `last-modified=` extension field the paper's BR/BL logs carried.
+//! * [`validate`] — the section 1.1 validation rules that turn raw log
+//!   entries into the "valid accesses" every experiment runs on.
+//! * [`stream`] — the [`stream::Trace`] container with per-day iteration.
+//! * [`stats`] — trace characterisation (Table 4 type mixes, Zipf rank
+//!   data for Figs. 1-2, histogram/scatter inputs for Figs. 13-14).
+
+#![warn(missing_docs)]
+
+pub mod clf;
+pub mod record;
+pub mod stats;
+pub mod stream;
+pub mod validate;
+
+pub use record::{
+    day_of, ClientId, DocType, Interner, RawRequest, Request, ServerId, Timestamp, UrlId,
+    SECONDS_PER_DAY,
+};
+pub use stream::Trace;
+pub use validate::{ValidationStats, Validator};

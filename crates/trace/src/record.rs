@@ -1,0 +1,346 @@
+//! Core record types shared by every crate in the workspace.
+//!
+//! A *trace* is a time-ordered sequence of [`Request`] records, each
+//! describing one client HTTP request observed at a proxy (or on a network
+//! backbone, as for the paper's BR/BL workloads). Requests reference
+//! documents by an interned [`UrlId`] so that simulation over hundreds of
+//! thousands of requests does not touch strings on the hot path; the
+//! [`crate::stream::Trace`] container owns the [`Interner`] that maps ids
+//! back to URL text.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Seconds since the start of the trace (the trace epoch).
+///
+/// The paper's analyses are at one-second granularity (interreference times,
+/// Fig. 14) and one-day granularity (hit-rate series, Figs. 3-12). A `u64`
+/// second counter covers both.
+pub type Timestamp = u64;
+
+/// Number of seconds in a simulated day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Convert a timestamp to a zero-based day index (`DAY(t)` in the paper).
+#[inline]
+pub fn day_of(t: Timestamp) -> u64 {
+    t / SECONDS_PER_DAY
+}
+
+/// Interned identifier of a unique URL within one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UrlId(pub u32);
+
+impl fmt::Display for UrlId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "url#{}", self.0)
+    }
+}
+
+/// Identifier of the server a URL names (the host part of the URL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+/// Identifier of the requesting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// Media type of a document, grouped by filename extension exactly as in
+/// Table 4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DocType {
+    /// `.gif`, `.jpg`, `.jpeg`, `.png`, `.xbm`, ... ("graphics")
+    Graphics,
+    /// `.html`, `.htm`, `.txt`, and bare directory URLs ("text/html")
+    Text,
+    /// `.au`, `.wav`, `.aif`, `.snd`, `.mp2`, ...
+    Audio,
+    /// `.mpg`, `.mpeg`, `.mov`, `.avi`, `.qt`, ...
+    Video,
+    /// CGI and other script-generated documents (`/cgi-bin/`, `.cgi`)
+    Cgi,
+    /// Everything whose extension fits no other category.
+    Unknown,
+}
+
+impl DocType {
+    /// All document types, in the order Table 4 lists them.
+    pub const ALL: [DocType; 6] = [
+        DocType::Graphics,
+        DocType::Text,
+        DocType::Audio,
+        DocType::Video,
+        DocType::Cgi,
+        DocType::Unknown,
+    ];
+
+    /// The label used in the paper's Table 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            DocType::Graphics => "Graphics",
+            DocType::Text => "Text/html",
+            DocType::Audio => "Audio",
+            DocType::Video => "Video",
+            DocType::Cgi => "CGI",
+            DocType::Unknown => "Unknown",
+        }
+    }
+
+    /// Classify a URL path by filename extension, following the grouping
+    /// described in section 2.2 of the paper.
+    pub fn classify(url: &str) -> DocType {
+        // Strip any query string before looking at the extension.
+        let path = url.split(['?', '#']).next().unwrap_or(url);
+        let lower = path.to_ascii_lowercase();
+        if lower.contains("/cgi-bin/") || lower.ends_with(".cgi") || lower.ends_with(".pl") {
+            return DocType::Cgi;
+        }
+        let ext = match lower.rsplit_once('/') {
+            Some((_, file)) => match file.rsplit_once('.') {
+                Some((_, ext)) => ext.to_string(),
+                // A bare file or directory with no extension serves HTML.
+                None => return DocType::Text,
+            },
+            None => return DocType::Unknown,
+        };
+        match ext.as_str() {
+            "gif" | "jpg" | "jpeg" | "png" | "xbm" | "bmp" | "tif" | "tiff" | "pbm" | "ppm" => {
+                DocType::Graphics
+            }
+            "html" | "htm" | "txt" | "text" | "shtml" => DocType::Text,
+            "au" | "wav" | "aif" | "aiff" | "snd" | "mp2" | "ra" | "ram" => DocType::Audio,
+            "mpg" | "mpeg" | "mov" | "avi" | "qt" | "fli" => DocType::Video,
+            _ => DocType::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for DocType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One validated client request, the unit the simulator consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Seconds since the trace epoch.
+    pub time: Timestamp,
+    /// Which client issued the request.
+    pub client: ClientId,
+    /// Which server the URL names.
+    pub server: ServerId,
+    /// The requested document.
+    pub url: UrlId,
+    /// Size of the document returned, in bytes. After validation this is
+    /// never zero (section 1.1 of the paper).
+    pub size: u64,
+    /// Media type of the document.
+    pub doc_type: DocType,
+    /// `Last-Modified` time of the document, when the trace records one
+    /// (only the BR and BL collection methods captured this header).
+    pub last_modified: Option<Timestamp>,
+}
+
+impl Request {
+    /// The zero-based day index this request falls in.
+    #[inline]
+    pub fn day(&self) -> u64 {
+        day_of(self.time)
+    }
+}
+
+/// A raw log entry before validation; URLs are still strings and the HTTP
+/// status code and reported size are unprocessed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawRequest {
+    /// Seconds since the trace epoch.
+    pub time: Timestamp,
+    /// Requesting host, as logged.
+    pub client: String,
+    /// Full request URL (`http://server/path`), or origin-form path.
+    pub url: String,
+    /// HTTP status code returned (`200 Accept` in the paper's phrasing).
+    pub status: u16,
+    /// Size field from the log; zero means the log did not record a size.
+    pub size: u64,
+    /// Optional `Last-Modified` timestamp from the extended log fields.
+    pub last_modified: Option<Timestamp>,
+}
+
+impl RawRequest {
+    /// The host component of the URL, or `"-"` when the URL is origin-form.
+    pub fn server_name(&self) -> &str {
+        server_of_url(&self.url)
+    }
+}
+
+/// Extract the host component of an absolute URL; origin-form URLs map to
+/// `"-"` (a single unnamed server), matching how a per-server log reads.
+pub fn server_of_url(url: &str) -> &str {
+    if let Some(rest) = url.strip_prefix("http://") {
+        rest.split('/').next().unwrap_or("-")
+    } else {
+        "-"
+    }
+}
+
+/// String interner mapping URL and host text to dense ids.
+///
+/// Interning happens once at trace load/generation; simulation afterwards
+/// deals only in `u32` ids.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    urls: Vec<String>,
+    url_index: HashMap<String, UrlId>,
+    servers: Vec<String>,
+    server_index: HashMap<String, ServerId>,
+    clients: Vec<String>,
+    client_index: HashMap<String, ClientId>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a URL, returning its stable id.
+    pub fn url(&mut self, url: &str) -> UrlId {
+        if let Some(&id) = self.url_index.get(url) {
+            return id;
+        }
+        let id = UrlId(u32::try_from(self.urls.len()).expect("more than u32::MAX unique URLs"));
+        self.urls.push(url.to_string());
+        self.url_index.insert(url.to_string(), id);
+        id
+    }
+
+    /// Intern a server host name, returning its stable id.
+    pub fn server(&mut self, host: &str) -> ServerId {
+        if let Some(&id) = self.server_index.get(host) {
+            return id;
+        }
+        let id = ServerId(
+            u32::try_from(self.servers.len()).expect("more than u32::MAX unique servers"),
+        );
+        self.servers.push(host.to_string());
+        self.server_index.insert(host.to_string(), id);
+        id
+    }
+
+    /// Intern a client host name, returning its stable id.
+    pub fn client(&mut self, host: &str) -> ClientId {
+        if let Some(&id) = self.client_index.get(host) {
+            return id;
+        }
+        let id = ClientId(
+            u32::try_from(self.clients.len()).expect("more than u32::MAX unique clients"),
+        );
+        self.clients.push(host.to_string());
+        self.client_index.insert(host.to_string(), id);
+        id
+    }
+
+    /// Look up the text of an interned URL.
+    pub fn url_text(&self, id: UrlId) -> Option<&str> {
+        self.urls.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Look up the text of an interned server name.
+    pub fn server_text(&self, id: ServerId) -> Option<&str> {
+        self.servers.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Look up the text of an interned client name.
+    pub fn client_text(&self, id: ClientId) -> Option<&str> {
+        self.clients.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of unique URLs interned.
+    pub fn url_count(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Number of unique servers interned.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of unique clients interned.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_by_extension_matches_table4_grouping() {
+        assert_eq!(DocType::classify("http://s/a/logo.GIF"), DocType::Graphics);
+        assert_eq!(DocType::classify("http://s/a/pic.jpeg"), DocType::Graphics);
+        assert_eq!(DocType::classify("http://s/index.html"), DocType::Text);
+        assert_eq!(DocType::classify("http://s/notes.txt"), DocType::Text);
+        assert_eq!(DocType::classify("http://s/song.au"), DocType::Audio);
+        assert_eq!(DocType::classify("http://s/song.wav"), DocType::Audio);
+        assert_eq!(DocType::classify("http://s/clip.mpg"), DocType::Video);
+        assert_eq!(DocType::classify("http://s/clip.mov"), DocType::Video);
+        assert_eq!(DocType::classify("http://s/cgi-bin/query"), DocType::Cgi);
+        assert_eq!(DocType::classify("http://s/form.cgi"), DocType::Cgi);
+        assert_eq!(DocType::classify("http://s/paper.ps"), DocType::Unknown);
+        assert_eq!(DocType::classify("http://s/archive.zip"), DocType::Unknown);
+    }
+
+    #[test]
+    fn classify_directory_urls_as_text() {
+        // A URL naming a directory returns an HTML index page.
+        assert_eq!(DocType::classify("http://s/dir/"), DocType::Text);
+        assert_eq!(DocType::classify("http://s/readme"), DocType::Text);
+    }
+
+    #[test]
+    fn classify_ignores_query_strings() {
+        assert_eq!(DocType::classify("http://s/a.gif?x=1"), DocType::Graphics);
+        assert_eq!(DocType::classify("http://s/a.html#frag"), DocType::Text);
+    }
+
+    #[test]
+    fn server_extraction() {
+        assert_eq!(server_of_url("http://www.cs.vt.edu/~chitra/www.html"), "www.cs.vt.edu");
+        assert_eq!(server_of_url("http://host"), "host");
+        assert_eq!(server_of_url("/relative/path.html"), "-");
+    }
+
+    #[test]
+    fn interner_is_stable_and_dense() {
+        let mut i = Interner::new();
+        let a = i.url("http://s/a");
+        let b = i.url("http://s/b");
+        let a2 = i.url("http://s/a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.url_count(), 2);
+        assert_eq!(i.url_text(a), Some("http://s/a"));
+        assert_eq!(i.url_text(UrlId(99)), None);
+    }
+
+    #[test]
+    fn day_indexing() {
+        assert_eq!(day_of(0), 0);
+        assert_eq!(day_of(SECONDS_PER_DAY - 1), 0);
+        assert_eq!(day_of(SECONDS_PER_DAY), 1);
+        let r = Request {
+            time: 3 * SECONDS_PER_DAY + 5,
+            client: ClientId(0),
+            server: ServerId(0),
+            url: UrlId(0),
+            size: 10,
+            doc_type: DocType::Text,
+            last_modified: None,
+        };
+        assert_eq!(r.day(), 3);
+    }
+}

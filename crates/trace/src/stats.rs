@@ -1,0 +1,253 @@
+//! Trace characterisation, reproducing section 2.2 of the paper:
+//! the Table 4 file-type mix, unique URL/server counts, per-server request
+//! ranks (Fig. 1), per-URL byte ranks (Fig. 2), the document-size histogram
+//! input (Fig. 13) and the size/interreference scatter input (Fig. 14).
+
+use crate::record::{DocType, ServerId, Timestamp, UrlId};
+use crate::stream::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-type share of references and bytes (one row of Table 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TypeShare {
+    /// Fraction of references of this type (0..=1).
+    pub refs: f64,
+    /// Fraction of bytes transferred of this type (0..=1).
+    pub bytes: f64,
+}
+
+/// File-type distribution of a workload: the paper's Table 4 for one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TypeMix {
+    shares: [TypeShare; 6],
+}
+
+impl TypeMix {
+    /// Share for one document type.
+    pub fn share(&self, t: DocType) -> TypeShare {
+        self.shares[Self::index(t)]
+    }
+
+    fn index(t: DocType) -> usize {
+        DocType::ALL.iter().position(|&x| x == t).expect("DocType::ALL covers all")
+    }
+
+    /// Compute the mix of a trace.
+    pub fn of(trace: &Trace) -> TypeMix {
+        let mut refs = [0u64; 6];
+        let mut bytes = [0u64; 6];
+        for r in &trace.requests {
+            let i = Self::index(r.doc_type);
+            refs[i] += 1;
+            bytes[i] += r.size;
+        }
+        let total_refs: u64 = refs.iter().sum();
+        let total_bytes: u64 = bytes.iter().sum();
+        let mut shares = [TypeShare::default(); 6];
+        for i in 0..6 {
+            shares[i] = TypeShare {
+                refs: if total_refs == 0 { 0.0 } else { refs[i] as f64 / total_refs as f64 },
+                bytes: if total_bytes == 0 {
+                    0.0
+                } else {
+                    bytes[i] as f64 / total_bytes as f64
+                },
+            };
+        }
+        TypeMix { shares }
+    }
+
+    /// Rows as `(type, share)` pairs in Table 4 order.
+    pub fn rows(&self) -> impl Iterator<Item = (DocType, TypeShare)> + '_ {
+        DocType::ALL.iter().map(move |&t| (t, self.share(t)))
+    }
+}
+
+/// Summary characterisation of a trace (the numbers section 2 reports for
+/// each workload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Workload name.
+    pub name: String,
+    /// Valid accesses.
+    pub requests: u64,
+    /// Total bytes transferred.
+    pub total_bytes: u64,
+    /// Collection period in days.
+    pub days: u64,
+    /// Unique URLs referenced.
+    pub unique_urls: u64,
+    /// Unique servers referenced.
+    pub unique_servers: u64,
+    /// Unique clients observed.
+    pub unique_clients: u64,
+    /// Sum of unique document sizes (final size per URL) — the storage an
+    /// infinite cache retains, before accounting for mid-trace
+    /// modifications.
+    pub unique_bytes: u64,
+    /// Fraction of re-references with changed size (0.5%-4.1% in the paper).
+    pub size_change_fraction: f64,
+}
+
+impl TraceSummary {
+    /// Compute the summary of a trace.
+    pub fn of(trace: &Trace) -> TraceSummary {
+        let mut last_size: HashMap<UrlId, u64> = HashMap::new();
+        let mut servers: HashMap<ServerId, u64> = HashMap::new();
+        let mut clients = std::collections::HashSet::new();
+        for r in &trace.requests {
+            last_size.insert(r.url, r.size);
+            *servers.entry(r.server).or_insert(0) += 1;
+            clients.insert(r.client);
+        }
+        TraceSummary {
+            name: trace.name.clone(),
+            requests: trace.len() as u64,
+            total_bytes: trace.total_bytes(),
+            days: trace.duration_days(),
+            unique_urls: last_size.len() as u64,
+            unique_servers: servers.len() as u64,
+            unique_clients: clients.len() as u64,
+            unique_bytes: last_size.values().sum(),
+            size_change_fraction: trace.validation.size_change_fraction(),
+        }
+    }
+}
+
+/// Requests per server, sorted descending — the data behind Fig. 1.
+pub fn server_request_ranks(trace: &Trace) -> Vec<u64> {
+    let mut counts: HashMap<ServerId, u64> = HashMap::new();
+    for r in &trace.requests {
+        *counts.entry(r.server).or_insert(0) += 1;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+/// Bytes transferred per URL, sorted descending — the data behind Fig. 2.
+pub fn url_byte_ranks(trace: &Trace) -> Vec<u64> {
+    let mut counts: HashMap<UrlId, u64> = HashMap::new();
+    for r in &trace.requests {
+        *counts.entry(r.url).or_insert(0) += r.size;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+/// Sizes of all requests — the data behind the Fig. 13 histogram.
+pub fn request_sizes(trace: &Trace) -> Vec<u64> {
+    trace.requests.iter().map(|r| r.size).collect()
+}
+
+/// `(size, interreference_time)` for every re-reference — the data behind
+/// the Fig. 14 scatter plot ("each URL referenced two or more times").
+pub fn size_vs_interreference(trace: &Trace) -> Vec<(u64, Timestamp)> {
+    let mut last_seen: HashMap<UrlId, Timestamp> = HashMap::new();
+    let mut out = Vec::new();
+    for r in &trace.requests {
+        if let Some(prev) = last_seen.insert(r.url, r.time) {
+            out.push((r.size, r.time - prev));
+        }
+    }
+    out
+}
+
+/// How many of the first `n` requests' URLs occurred earlier in the trace —
+/// the per-trace "concentration" the paper attributes its cacheability to.
+/// Equals the infinite-cache hit count when no document is ever modified.
+pub fn rereference_count(trace: &Trace) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    let mut hits = 0;
+    for r in &trace.requests {
+        if !seen.insert(r.url) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RawRequest;
+
+    fn raw(time: u64, url: &str, size: u64) -> RawRequest {
+        RawRequest {
+            time,
+            client: format!("client{}", time % 2),
+            url: url.into(),
+            status: 200,
+            size,
+            last_modified: None,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace::from_raw(
+            "t",
+            &[
+                raw(0, "http://a/x.gif", 100),
+                raw(1, "http://a/y.html", 50),
+                raw(2, "http://b/z.au", 850),
+                raw(3, "http://a/x.gif", 100),
+            ],
+        )
+    }
+
+    #[test]
+    fn type_mix_fractions_sum_to_one() {
+        let mix = TypeMix::of(&sample());
+        let (refs, bytes): (f64, f64) = mix
+            .rows()
+            .fold((0.0, 0.0), |(r, b), (_, s)| (r + s.refs, b + s.bytes));
+        assert!((refs - 1.0).abs() < 1e-12);
+        assert!((bytes - 1.0).abs() < 1e-12);
+        assert!((mix.share(DocType::Graphics).refs - 0.5).abs() < 1e-12);
+        assert!((mix.share(DocType::Audio).bytes - 850.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_counts_uniques() {
+        let s = TraceSummary::of(&sample());
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.unique_urls, 3);
+        assert_eq!(s.unique_servers, 2);
+        assert_eq!(s.unique_clients, 2);
+        assert_eq!(s.unique_bytes, 1000);
+        assert_eq!(s.total_bytes, 1100);
+    }
+
+    #[test]
+    fn ranks_are_descending() {
+        let t = sample();
+        let sr = server_request_ranks(&t);
+        assert_eq!(sr, vec![3, 1]);
+        let ur = url_byte_ranks(&t);
+        assert_eq!(ur, vec![850, 200, 50]);
+    }
+
+    #[test]
+    fn interreference_pairs() {
+        let t = sample();
+        let pairs = size_vs_interreference(&t);
+        assert_eq!(pairs, vec![(100, 3)]);
+    }
+
+    #[test]
+    fn rereference_count_equals_hits_without_modification() {
+        assert_eq!(rereference_count(&sample()), 1);
+    }
+
+    #[test]
+    fn empty_trace_mix_is_zero() {
+        let t = Trace::from_raw("e", &[]);
+        let mix = TypeMix::of(&t);
+        for (_, s) in mix.rows() {
+            assert_eq!(s.refs, 0.0);
+            assert_eq!(s.bytes, 0.0);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Trace validation, implementing the rules of section 1.1 of the paper.
+//!
+//! The paper stipulates exactly which log entries count as "valid accesses":
+//!
+//! 1. The server return code must be `200`. Client/server errors and
+//!    requests satisfied by the client's own cache (`304`) are discarded.
+//! 2. A logged size of `0` for a URL never seen before discards the entry.
+//! 3. A logged size of `0` for a URL seen before with a non-zero size is
+//!    assumed unmodified: the entry is kept and assigned the last known
+//!    size.
+//!
+//! The validator also tallies how often a URL recurs with a *different*
+//! size — the document-modification signal the simulator uses for
+//! consistency (the paper reports 0.5%-4.1% across its traces).
+
+use crate::record::{Interner, RawRequest, Request};
+use crate::record::{DocType, UrlId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why the validator dropped a raw entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Status code was not 200.
+    NotOk,
+    /// Size was zero and the URL had never been seen with a real size.
+    ZeroSizeUnseen,
+}
+
+/// Counters describing what validation did to a trace.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationStats {
+    /// Entries kept as valid accesses.
+    pub accepted: u64,
+    /// Entries dropped because the status was not 200.
+    pub dropped_not_ok: u64,
+    /// Entries dropped by the zero-size-unseen rule.
+    pub dropped_zero_unseen: u64,
+    /// Zero-size entries that were assigned the URL's last known size.
+    pub assigned_last_known: u64,
+    /// Accepted re-references whose size differed from the last known size
+    /// (the document-modification events of section 1.1).
+    pub size_changes: u64,
+    /// Accepted re-references (same URL seen before), regardless of size.
+    pub rereferences: u64,
+}
+
+impl ValidationStats {
+    /// Fraction of re-references that arrived with a changed size — the
+    /// paper reports 0.5% to 4.1% for its five traces.
+    pub fn size_change_fraction(&self) -> f64 {
+        if self.rereferences == 0 {
+            0.0
+        } else {
+            self.size_changes as f64 / self.rereferences as f64
+        }
+    }
+
+    /// Total raw entries examined.
+    pub fn examined(&self) -> u64 {
+        self.accepted + self.dropped_not_ok + self.dropped_zero_unseen
+    }
+}
+
+/// Streaming validator: feed [`RawRequest`]s in trace order, collect
+/// [`Request`]s. Owns the [`Interner`] for the trace being built.
+#[derive(Debug, Default)]
+pub struct Validator {
+    interner: Interner,
+    last_size: HashMap<UrlId, u64>,
+    stats: ValidationStats,
+}
+
+impl Validator {
+    /// Create a fresh validator with an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validate one raw entry. Returns the valid [`Request`] or the
+    /// [`DropReason`] the rules dictate.
+    pub fn validate(&mut self, raw: &RawRequest) -> Result<Request, DropReason> {
+        if raw.status != 200 {
+            self.stats.dropped_not_ok += 1;
+            return Err(DropReason::NotOk);
+        }
+        let url = self.interner.url(&raw.url);
+        let server = self.interner.server(raw.server_name());
+        let client = self.interner.client(&raw.client);
+        let size = match (raw.size, self.last_size.get(&url).copied()) {
+            (0, None) => {
+                self.stats.dropped_zero_unseen += 1;
+                return Err(DropReason::ZeroSizeUnseen);
+            }
+            (0, Some(known)) => {
+                // Zero size, URL known: assume unmodified, use last size.
+                self.stats.assigned_last_known += 1;
+                known
+            }
+            (s, _) => s,
+        };
+        if let Some(prev) = self.last_size.get(&url).copied() {
+            self.stats.rereferences += 1;
+            if prev != size {
+                self.stats.size_changes += 1;
+            }
+        }
+        self.last_size.insert(url, size);
+        self.stats.accepted += 1;
+        Ok(Request {
+            time: raw.time,
+            client,
+            server,
+            url,
+            size,
+            doc_type: DocType::classify(&raw.url),
+            last_modified: raw.last_modified,
+        })
+    }
+
+    /// Validate a whole raw trace, keeping only valid accesses.
+    pub fn validate_all(&mut self, raws: &[RawRequest]) -> Vec<Request> {
+        raws.iter().filter_map(|r| self.validate(r).ok()).collect()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ValidationStats {
+        self.stats
+    }
+
+    /// Consume the validator, returning the interner it built.
+    pub fn into_interner(self) -> Interner {
+        self.interner
+    }
+
+    /// Borrow the interner built so far.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(time: u64, url: &str, status: u16, size: u64) -> RawRequest {
+        RawRequest {
+            time,
+            client: "c".into(),
+            url: url.into(),
+            status,
+            size,
+            last_modified: None,
+        }
+    }
+
+    #[test]
+    fn non_200_is_dropped() {
+        let mut v = Validator::new();
+        assert_eq!(v.validate(&raw(0, "http://s/a", 404, 10)), Err(DropReason::NotOk));
+        assert_eq!(v.validate(&raw(1, "http://s/a", 304, 10)), Err(DropReason::NotOk));
+        assert_eq!(v.validate(&raw(2, "http://s/a", 500, 10)), Err(DropReason::NotOk));
+        assert_eq!(v.stats().dropped_not_ok, 3);
+        assert_eq!(v.stats().accepted, 0);
+    }
+
+    #[test]
+    fn zero_size_unseen_is_dropped_but_seen_is_assigned() {
+        let mut v = Validator::new();
+        // Never seen: dropped.
+        assert_eq!(
+            v.validate(&raw(0, "http://s/a", 200, 0)),
+            Err(DropReason::ZeroSizeUnseen)
+        );
+        // Establish a size.
+        let r = v.validate(&raw(1, "http://s/a", 200, 42)).unwrap();
+        assert_eq!(r.size, 42);
+        // Zero again: assigned the last known size.
+        let r = v.validate(&raw(2, "http://s/a", 200, 0)).unwrap();
+        assert_eq!(r.size, 42);
+        let s = v.stats();
+        assert_eq!(s.dropped_zero_unseen, 1);
+        assert_eq!(s.assigned_last_known, 1);
+        assert_eq!(s.accepted, 2);
+        // The assigned re-reference is not a size change.
+        assert_eq!(s.size_changes, 0);
+    }
+
+    #[test]
+    fn size_change_is_counted_and_size_updates() {
+        let mut v = Validator::new();
+        v.validate(&raw(0, "http://s/a", 200, 100)).unwrap();
+        let r = v.validate(&raw(1, "http://s/a", 200, 150)).unwrap();
+        assert_eq!(r.size, 150);
+        // Later zero-size uses the *new* size.
+        let r = v.validate(&raw(2, "http://s/a", 200, 0)).unwrap();
+        assert_eq!(r.size, 150);
+        let s = v.stats();
+        assert_eq!(s.size_changes, 1);
+        assert_eq!(s.rereferences, 2);
+        assert!((s.size_change_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ids_are_shared_across_requests() {
+        let mut v = Validator::new();
+        let a = v.validate(&raw(0, "http://s/a", 200, 10)).unwrap();
+        let b = v.validate(&raw(1, "http://s/b", 200, 10)).unwrap();
+        let a2 = v.validate(&raw(2, "http://s/a", 200, 10)).unwrap();
+        assert_eq!(a.url, a2.url);
+        assert_ne!(a.url, b.url);
+        assert_eq!(a.server, b.server);
+    }
+
+    #[test]
+    fn doc_type_flows_through() {
+        let mut v = Validator::new();
+        let r = v.validate(&raw(0, "http://s/song.au", 200, 10)).unwrap();
+        assert_eq!(r.doc_type, DocType::Audio);
+    }
+
+    #[test]
+    fn examined_totals_are_consistent() {
+        let mut v = Validator::new();
+        let _ = v.validate(&raw(0, "http://s/a", 200, 0));
+        let _ = v.validate(&raw(1, "http://s/a", 404, 5));
+        let _ = v.validate(&raw(2, "http://s/a", 200, 5));
+        assert_eq!(v.stats().examined(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Robustness properties of the trace layer: parsers must never panic on
+//! arbitrary input, and validation counters must stay consistent for any
+//! raw request stream.
+
+use proptest::prelude::*;
+use webcache_trace::validate::Validator;
+use webcache_trace::{clf, RawRequest, Trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage never panics the line parser; it either parses
+    /// or returns an error.
+    #[test]
+    fn parse_line_never_panics(line in ".{0,200}") {
+        let _ = clf::parse_line(&line, 0);
+    }
+
+    /// Near-miss CLF lines (structured but corrupted) never panic.
+    #[test]
+    fn parse_structured_garbage_never_panics(
+        host in "[ -~]{0,20}",
+        date in "[ -~]{0,30}",
+        middle in "[ -~]{0,40}",
+        tail in "[ -~]{0,20}",
+    ) {
+        let line = format!("{host} - - [{date}] \"{middle}\" {tail}");
+        let _ = clf::parse_line(&line, 0);
+    }
+
+    /// Arbitrary garbage never panics the date parser.
+    #[test]
+    fn parse_date_never_panics(s in ".{0,60}") {
+        let _ = clf::parse_clf_date(&s);
+    }
+
+    /// Validation counters always tally: every examined entry is accepted
+    /// or dropped exactly once, and re-reference counts never exceed
+    /// accepted entries.
+    #[test]
+    fn validator_counters_tally(
+        entries in prop::collection::vec(
+            (0u32..8, 0u64..5_000, prop::sample::select(vec![200u16, 200, 200, 304, 404])),
+            0..200,
+        )
+    ) {
+        let mut v = Validator::new();
+        for (i, (url, size, status)) in entries.iter().enumerate() {
+            let _ = v.validate(&RawRequest {
+                time: i as u64,
+                client: "c".into(),
+                url: format!("http://s/u{url}"),
+                status: *status,
+                size: *size,
+                last_modified: None,
+            });
+        }
+        let s = v.stats();
+        prop_assert_eq!(s.examined(), entries.len() as u64);
+        prop_assert!(s.rereferences <= s.accepted);
+        prop_assert!(s.size_changes <= s.rereferences);
+        prop_assert!(s.assigned_last_known <= s.accepted);
+        prop_assert!(s.size_change_fraction() >= 0.0);
+        prop_assert!(s.size_change_fraction() <= 1.0);
+    }
+
+    /// Any raw stream builds a trace whose requests are time-ordered and
+    /// whose day iteration partitions them exactly.
+    #[test]
+    fn trace_from_any_raw_stream_is_ordered(
+        entries in prop::collection::vec((0u64..2_000_000, 0u32..12, 1u64..9_999), 0..150)
+    ) {
+        let raws: Vec<RawRequest> = entries
+            .iter()
+            .map(|(t, u, s)| RawRequest {
+                time: *t,
+                client: "c".into(),
+                url: format!("http://s/u{u}"),
+                status: 200,
+                size: *s,
+                last_modified: None,
+            })
+            .collect();
+        let trace = Trace::from_raw("fuzz", &raws);
+        prop_assert!(trace.requests.windows(2).all(|w| w[0].time <= w[1].time));
+        let by_days: usize = trace.days().map(|(_, r)| r.len()).sum();
+        prop_assert_eq!(by_days, trace.len());
+        prop_assert_eq!(trace.len(), raws.len());
+    }
+}

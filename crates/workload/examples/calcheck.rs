@@ -1,0 +1,18 @@
+//! Calibration check: generate each workload at full scale and print
+//! the realised volumes, unique counts and MaxNeeded against DESIGN.md
+//! targets. A development tool, kept as a runnable record.
+
+use webcache_trace::stats::TraceSummary;
+fn main() {
+    for p in webcache_workload::profiles::all() {
+        let t0 = std::time::Instant::now();
+        let trace = webcache_workload::generate(&p, 1);
+        let s = TraceSummary::of(&trace);
+        let mn = webcache_core::sim::max_needed(&trace);
+        println!(
+            "{:3} days={} req={} bytes={:.2}GB uniq={} maxneeded={:.0}MB gen+sim={:?}",
+            s.name, s.days, s.requests, s.total_bytes as f64 / 1e9, s.unique_urls,
+            mn as f64 / 1e6, t0.elapsed()
+        );
+    }
+}

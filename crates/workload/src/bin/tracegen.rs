@@ -1,0 +1,53 @@
+//! `tracegen` — generate a synthetic workload trace as a Common Log
+//! Format file on disk, for use with external log-analysis tools or the
+//! paper's own tooling lineage.
+//!
+//! ```text
+//! tracegen <U|G|C|BR|BL> [--scale F] [--seed N] [--out FILE]
+//! ```
+
+use std::io::Write as _;
+
+/// Unix time of 1995-09-17 00:00:00 UTC — the BR/BL collection start.
+const EPOCH: i64 = 811_296_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = None;
+    let mut scale = 1.0f64;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--out" => out = it.next(),
+            w => workload = Some(w.to_string()),
+        }
+    }
+    let Some(workload) = workload else {
+        eprintln!("usage: tracegen <U|G|C|BR|BL> [--scale F] [--seed N] [--out FILE]");
+        std::process::exit(2);
+    };
+    let Some(profile) = webcache_workload::profiles::by_name(&workload) else {
+        eprintln!("unknown workload {workload:?}; choose U, G, C, BR or BL");
+        std::process::exit(2);
+    };
+    let profile = if scale < 1.0 { profile.scaled(scale) } else { profile };
+    let trace = webcache_workload::generate(&profile, seed);
+    let text = trace.to_clf(EPOCH);
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            f.write_all(text.as_bytes()).expect("write trace");
+            eprintln!(
+                "wrote {} requests ({} days, {:.1} MB transferred) to {path}",
+                trace.len(),
+                trace.duration_days(),
+                trace.total_bytes() as f64 / 1e6
+            );
+        }
+        None => print!("{text}"),
+    }
+}

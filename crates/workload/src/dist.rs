@@ -1,0 +1,295 @@
+//! Sampling distributions underlying the synthetic workloads:
+//! Zipf popularity (Figs. 1-2: "the number of requests to each server in
+//! workload BL follows a Zipf distribution"), lognormal document sizes
+//! (heavy-tailed, mass below ~1 kB as in Fig. 13), a diurnal time-of-day
+//! profile, and the universe-size calibration used to hit each trace's
+//! published unique-URL / MaxNeeded figures.
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with `P(rank=i) ∝ 1/(i+1)^alpha`,
+/// implemented by binary search over precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `alpha` (> 0 skews to
+    /// the head; 0 is uniform).
+    pub fn new(n: usize, alpha: f64) -> ZipfSampler {
+        assert!(n > 0, "empty universe");
+        assert!(alpha >= 0.0 && alpha.is_finite());
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the sampler covers no ranks (never: `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability of rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - lo) / total
+    }
+}
+
+/// Expected number of distinct ranks seen in `n_draws` i.i.d. Zipf draws
+/// over a universe of `universe` ranks: `Σ_i 1 - (1 - p_i)^N`.
+pub fn expected_distinct(universe: usize, alpha: f64, n_draws: u64) -> f64 {
+    if universe == 0 || n_draws == 0 {
+        return 0.0;
+    }
+    let h: f64 = (1..=universe).map(|i| 1.0 / (i as f64).powf(alpha)).sum();
+    let n = n_draws as f64;
+    (1..=universe)
+        .map(|i| {
+            let p = 1.0 / ((i as f64).powf(alpha) * h);
+            // ln-form avoids underflow for tiny p and huge N.
+            1.0 - (n * (1.0 - p).ln()).exp()
+        })
+        .sum()
+}
+
+/// Find the universe size for which `n_draws` Zipf(`alpha`) draws are
+/// expected to touch about `target_distinct` distinct ranks. This is how
+/// each workload profile is calibrated to its published unique-URL count
+/// (BL: 36,771 uniques in 53,881 requests) and MaxNeeded. Returns at least
+/// `target_distinct`.
+pub fn calibrate_universe(alpha: f64, n_draws: u64, target_distinct: u64) -> usize {
+    assert!(target_distinct <= n_draws, "cannot see more uniques than draws");
+    let target = target_distinct as f64;
+    let mut lo = target_distinct as usize;
+    let mut hi = lo.max(16);
+    // Grow until the expectation overshoots (or the universe is absurdly
+    // larger than the draw count — the distinct count then saturates).
+    while expected_distinct(hi, alpha, n_draws) < target {
+        if hi as u64 > n_draws * 64 {
+            return hi;
+        }
+        hi *= 2;
+    }
+    while hi - lo > lo / 128 + 1 {
+        let mid = lo + (hi - lo) / 2;
+        if expected_distinct(mid, alpha, n_draws) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Lognormal document-size distribution with a target *mean* (matching a
+/// Table 4 bytes-per-reference quotient) and a shape `sigma`; values are
+/// clamped to `[min, max]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeDist {
+    mu: f64,
+    sigma: f64,
+    min: u64,
+    max: u64,
+}
+
+impl SizeDist {
+    /// Create a distribution with mean `mean_bytes` and log-space standard
+    /// deviation `sigma`. Larger `sigma` concentrates the median far below
+    /// the mean — the Fig. 13 shape where most requests are small but the
+    /// mean is pulled up by a heavy tail.
+    pub fn with_mean(mean_bytes: f64, sigma: f64) -> SizeDist {
+        assert!(mean_bytes >= 1.0 && sigma >= 0.0);
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2)
+        let mu = mean_bytes.ln() - sigma * sigma / 2.0;
+        SizeDist {
+            mu,
+            sigma,
+            min: 32,
+            max: (mean_bytes * 400.0) as u64,
+        }
+    }
+
+    /// Replace the clamp bounds.
+    pub fn clamp(mut self, min: u64, max: u64) -> SizeDist {
+        assert!(min >= 1 && max >= min);
+        self.min = min;
+        self.max = max;
+        self
+    }
+
+    /// Draw a size in bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let dist = rand_distr::LogNormal::new(self.mu, self.sigma).expect("valid parameters");
+        let v = rand::distributions::Distribution::sample(&dist, rng);
+        (v as u64).clamp(self.min, self.max)
+    }
+
+    /// The distribution's median (`exp(mu)`), before clamping.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+/// Hourly request weights of a campus workday: quiet at night, ramping
+/// through the morning, peaking in the afternoon, tapering in the evening.
+const HOUR_WEIGHTS: [f64; 24] = [
+    0.4, 0.3, 0.2, 0.2, 0.2, 0.3, 0.5, 1.0, 2.0, 3.0, 3.5, 3.5, 3.0, 3.5, 4.0, 4.0, 3.5, 3.0,
+    2.5, 2.5, 2.0, 1.5, 1.0, 0.6,
+];
+
+/// Draw a second-of-day following the diurnal profile.
+pub fn diurnal_second<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    let total: f64 = HOUR_WEIGHTS.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (h, w) in HOUR_WEIGHTS.iter().enumerate() {
+        if x < *w {
+            return h as u64 * 3600 + rng.gen_range(0..3600);
+        }
+        x -= w;
+    }
+    23 * 3600 + rng.gen_range(0..3600)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_head_is_hotter_than_tail() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0;
+        let mut tail = 0;
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            if r < 10 {
+                head += 1;
+            }
+            if r >= 500 {
+                tail += 1;
+            }
+        }
+        assert!(head > tail * 2, "head {head} tail {tail}");
+        assert!(z.probability(0) > z.probability(999));
+        let psum: f64 = (0..1000).map(|i| z.probability(i)).sum();
+        assert!((psum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        assert!((z.probability(0) - 0.01).abs() < 1e-12);
+        assert!((z.probability(99) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_distinct_bounds() {
+        // Can't see more distinct than draws or universe.
+        assert!(expected_distinct(100, 1.0, 50) <= 50.0 + 1e-9);
+        assert!(expected_distinct(10, 1.0, 10_000) <= 10.0 + 1e-9);
+        // Huge universe, few draws: nearly all draws distinct.
+        let d = expected_distinct(1_000_000, 0.5, 100);
+        assert!(d > 98.0);
+        assert_eq!(expected_distinct(0, 1.0, 5), 0.0);
+        assert_eq!(expected_distinct(5, 1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn calibration_hits_the_target_distinct_count() {
+        let n_draws = 50_000u64;
+        let target = 20_000u64;
+        let u = calibrate_universe(0.8, n_draws, target);
+        let got = expected_distinct(u, 0.8, n_draws);
+        assert!(
+            (got - target as f64).abs() / (target as f64) < 0.03,
+            "universe {u} gives {got} distinct, wanted {target}"
+        );
+    }
+
+    #[test]
+    fn calibration_matches_empirical_sampling() {
+        let n_draws = 20_000u64;
+        let target = 8_000u64;
+        let u = calibrate_universe(0.8, n_draws, target);
+        let z = ZipfSampler::new(u, 0.8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n_draws {
+            seen.insert(z.sample(&mut rng));
+        }
+        let got = seen.len() as f64;
+        assert!(
+            (got - target as f64).abs() / (target as f64) < 0.05,
+            "sampled {got} distinct, wanted {target}"
+        );
+    }
+
+    #[test]
+    fn size_dist_mean_and_median_shape() {
+        let d = SizeDist::with_mean(12_000.0, 1.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40_000;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!(
+            (mean - 12_000.0).abs() / 12_000.0 < 0.15,
+            "mean came out {mean}"
+        );
+        // Heavy tail: median far below mean (Fig. 13 shape).
+        let mut s = samples.clone();
+        s.sort_unstable();
+        let median = s[s.len() / 2] as f64;
+        assert!(median < 4_000.0, "median {median}");
+        assert!(d.median() < 3_000.0);
+    }
+
+    #[test]
+    fn size_dist_respects_clamps() {
+        let d = SizeDist::with_mean(100.0, 2.0).clamp(64, 1000);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((64..=1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn diurnal_seconds_are_daytime_heavy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut day = 0;
+        let mut night = 0;
+        for _ in 0..10_000 {
+            let s = diurnal_second(&mut rng);
+            assert!(s < 86_400);
+            let h = s / 3600;
+            if (9..=17).contains(&h) {
+                day += 1;
+            }
+            if h < 6 {
+                night += 1;
+            }
+        }
+        assert!(day > night * 3);
+    }
+}

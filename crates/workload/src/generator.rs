@@ -1,0 +1,348 @@
+//! The trace generator: turns a [`WorkloadProfile`] into a validated
+//! [`Trace`] with the statistical structure the paper published for the
+//! real logs.
+//!
+//! Generation is fully deterministic for a `(profile, seed)` pair. The raw
+//! log stream deliberately includes non-200 entries and zero-size entries
+//! so that the section 1.1 validation pipeline is exercised exactly as it
+//! was on the real logs; the `total_requests` budget counts *valid*
+//! accesses, matching how the paper reports its workloads.
+
+use crate::dist::{calibrate_universe, diurnal_second, ZipfSampler};
+use crate::profile::WorkloadProfile;
+use crate::universe::Universe;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use webcache_trace::{RawRequest, Trace, SECONDS_PER_DAY};
+
+/// Per-document mutable state during generation.
+#[derive(Debug, Clone, Copy)]
+struct UrlState {
+    seen: bool,
+    size: u64,
+    last_modified: u64,
+}
+
+/// Split the request budget across days proportionally to the profile's
+/// day weights, fixing rounding drift on the last active day.
+fn requests_per_day(profile: &WorkloadProfile) -> Vec<u64> {
+    let wsum: f64 = profile.day_weights.iter().sum();
+    let mut counts: Vec<u64> = profile
+        .day_weights
+        .iter()
+        .map(|w| (profile.total_requests as f64 * w / wsum).round() as u64)
+        .collect();
+    let assigned: u64 = counts.iter().sum();
+    let last_active = counts
+        .iter()
+        .rposition(|&c| c > 0)
+        .expect("validate() guarantees an active day");
+    let c = &mut counts[last_active];
+    *c = (*c + profile.total_requests).saturating_sub(assigned).max(1);
+    counts
+}
+
+/// Generate a complete validated trace from a profile.
+pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
+    profile.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let day_requests = requests_per_day(profile);
+
+    // Split draws between the base universe and the fresh-phase universe,
+    // then calibrate each universe size to its distinct-URL target.
+    let fresh_draws: u64 = profile.fresh.map_or(0, |f| {
+        day_requests[f.start_day as usize..]
+            .iter()
+            .map(|&n| (n as f64 * f.prob) as u64)
+            .sum()
+    });
+    let base_draws = profile.total_requests - fresh_draws;
+    let base_size = calibrate_universe(
+        profile.zipf_alpha,
+        base_draws,
+        profile.target_unique_urls.min(base_draws),
+    );
+    let fresh_size = profile.fresh.map_or(0, |f| {
+        calibrate_universe(profile.zipf_alpha, fresh_draws.max(1), f.target_unique.min(fresh_draws.max(1)))
+    });
+
+    let universe = Universe::build_calibrated(
+        profile,
+        base_size,
+        fresh_size,
+        base_draws,
+        fresh_draws,
+        seed,
+    );
+    let base_sampler = ZipfSampler::new(base_size, profile.zipf_alpha);
+    let fresh_sampler =
+        (fresh_size > 0).then(|| ZipfSampler::new(fresh_size, profile.zipf_alpha));
+    let review_sampler = profile.review.map(|r| {
+        let top = ((base_size as f64 * r.top_fraction) as usize).max(1);
+        ZipfSampler::new(top, profile.zipf_alpha)
+    });
+
+    let mut state: Vec<UrlState> = universe
+        .urls
+        .iter()
+        .map(|u| UrlState {
+            seen: false,
+            size: u.base_size,
+            last_modified: 0,
+        })
+        .collect();
+
+    let mut raws: Vec<RawRequest> =
+        Vec::with_capacity(profile.total_requests as usize + profile.total_requests as usize / 16);
+    for (day, &n_d) in day_requests.iter().enumerate() {
+        if n_d == 0 {
+            continue;
+        }
+        let day = day as u64;
+        // Classroom working set: the documents the instructor walks the
+        // class through today.
+        let working_set: Option<Vec<usize>> = profile.classroom.map(|c| {
+            let sampler = match (&review_sampler, profile.review) {
+                (Some(rs), Some(r)) if day >= r.start_day => rs,
+                _ => &base_sampler,
+            };
+            let mut set = std::collections::HashSet::new();
+            while set.len() < c.working_set_size {
+                set.insert(sampler.sample(&mut rng));
+            }
+            set.into_iter().collect()
+        });
+
+        // Draw the day's request times up front and sort them, so that
+        // per-document state evolution (size modifications) happens in
+        // chronological order — the order validation and simulation see.
+        let mut times: Vec<u64> = (0..n_d)
+            .map(|_| day * SECONDS_PER_DAY + diurnal_second(&mut rng))
+            .collect();
+        times.sort_unstable();
+        for time in times {
+            let idx = pick_url(
+                profile,
+                day,
+                &base_sampler,
+                fresh_sampler.as_ref(),
+                review_sampler.as_ref(),
+                working_set.as_deref(),
+                universe.base_count,
+                &mut rng,
+            );
+            let st = &mut state[idx];
+            if st.seen && rng.gen::<f64>() < profile.p_size_change {
+                st.size = Universe::modified_size(universe.urls[idx].base_size, st.size, &mut rng);
+                st.last_modified = time;
+            } else if st.seen && rng.gen::<f64>() < profile.p_same_size_mod {
+                st.last_modified = time;
+            }
+            // Occasionally log a zero size for an already-seen document;
+            // validation restores the last known size.
+            let logged_size = if st.seen && rng.gen::<f64>() < profile.p_zero_size {
+                0
+            } else {
+                st.size
+            };
+            st.seen = true;
+            let spec = &universe.urls[idx];
+            raws.push(RawRequest {
+                time,
+                client: format!("client{}.clients.example", rng.gen_range(0..profile.clients)),
+                url: spec.url.clone(),
+                status: 200,
+                size: logged_size,
+                last_modified: profile
+                    .record_last_modified
+                    .then_some(st.last_modified),
+            });
+            // Error noise the validator must drop.
+            if rng.gen::<f64>() < profile.p_error {
+                let status = *[304u16, 404, 403, 500]
+                    .get(rng.gen_range(0..4))
+                    .expect("index in range");
+                raws.push(RawRequest {
+                    time,
+                    client: format!("client{}.clients.example", rng.gen_range(0..profile.clients)),
+                    url: spec.url.clone(),
+                    status,
+                    size: 0,
+                    last_modified: None,
+                });
+            }
+        }
+    }
+    Trace::from_raw(&profile.name, &raws)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pick_url(
+    profile: &WorkloadProfile,
+    day: u64,
+    base: &ZipfSampler,
+    fresh: Option<&ZipfSampler>,
+    review: Option<&ZipfSampler>,
+    working_set: Option<&[usize]>,
+    base_count: usize,
+    rng: &mut StdRng,
+) -> usize {
+    if let (Some(f), Some(fs)) = (profile.fresh, fresh) {
+        if day >= f.start_day && rng.gen::<f64>() < f.prob {
+            return base_count + fs.sample(rng);
+        }
+    }
+    if let (Some(c), Some(set)) = (profile.classroom, working_set) {
+        if rng.gen::<f64>() < c.in_set_prob {
+            return set[rng.gen_range(0..set.len())];
+        }
+    }
+    if let (Some(r), Some(rs)) = (profile.review, review) {
+        if day >= r.start_day && rng.gen::<f64>() < r.review_prob {
+            return rs.sample(rng);
+        }
+    }
+    base.sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use webcache_trace::stats::{TraceSummary, TypeMix};
+    use webcache_trace::DocType;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profiles::bl().scaled(0.02);
+        let a = generate(&p, 11);
+        let b = generate(&p, 11);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.requests.first(), b.requests.first());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        let c = generate(&p, 12);
+        assert_ne!(a.total_bytes(), c.total_bytes());
+    }
+
+    #[test]
+    fn request_budget_is_met() {
+        let p = profiles::g().scaled(0.05);
+        let t = generate(&p, 1);
+        let n = t.len() as f64;
+        let target = p.total_requests as f64;
+        assert!(
+            (n - target).abs() / target < 0.02,
+            "generated {n} valid requests, wanted {target}"
+        );
+    }
+
+    #[test]
+    fn byte_budget_is_met_roughly() {
+        let p = profiles::bl().scaled(0.05);
+        let t = generate(&p, 2);
+        let b = t.total_bytes() as f64;
+        let target = p.total_bytes as f64;
+        assert!(
+            (b - target).abs() / target < 0.35,
+            "generated {b} bytes, wanted {target}"
+        );
+    }
+
+    #[test]
+    fn type_mix_matches_table4_shares() {
+        let p = profiles::bl().scaled(0.1);
+        let t = generate(&p, 3);
+        let mix = TypeMix::of(&t);
+        for spec in &p.types {
+            let got = mix.share(spec.doc_type).refs;
+            assert!(
+                (got - spec.ref_share).abs() < 0.03,
+                "{}: ref share {} vs target {}",
+                spec.doc_type,
+                got,
+                spec.ref_share
+            );
+        }
+    }
+
+    #[test]
+    fn unique_urls_match_target() {
+        let p = profiles::bl().scaled(0.1);
+        let t = generate(&p, 4);
+        let s = TraceSummary::of(&t);
+        let target = p.target_unique_urls as f64;
+        let got = s.unique_urls as f64;
+        assert!(
+            (got - target).abs() / target < 0.12,
+            "unique URLs {got} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn size_change_fraction_is_near_profile_rate() {
+        let p = profiles::bl().scaled(0.1);
+        let t = generate(&p, 5);
+        let f = t.validation.size_change_fraction();
+        assert!(
+            (f - p.p_size_change).abs() < 0.02,
+            "size-change fraction {f} vs {}",
+            p.p_size_change
+        );
+    }
+
+    #[test]
+    fn validation_noise_was_present_and_dropped() {
+        let p = profiles::g().scaled(0.05);
+        let t = generate(&p, 6);
+        assert!(t.validation.dropped_not_ok > 0, "no error entries generated");
+        assert!(
+            t.validation.assigned_last_known > 0,
+            "no zero-size entries generated"
+        );
+    }
+
+    #[test]
+    fn classroom_days_are_idle_for_c() {
+        let p = profiles::c().scaled(0.05);
+        let t = generate(&p, 7);
+        let idle = t.days().filter(|(_, reqs)| reqs.is_empty()).count();
+        // 3 idle days per week over ~14 weeks.
+        assert!(idle >= 30, "only {idle} idle days");
+    }
+
+    #[test]
+    fn br_audio_concentrates_bytes_on_one_server() {
+        let p = profiles::br().scaled(0.05);
+        let t = generate(&p, 8);
+        let mix = TypeMix::of(&t);
+        assert!(
+            mix.share(DocType::Audio).bytes > 0.7,
+            "audio bytes {}",
+            mix.share(DocType::Audio).bytes
+        );
+        // All audio requests name server 0's host.
+        for r in &t.requests {
+            if r.doc_type == DocType::Audio {
+                assert!(t
+                    .interner
+                    .server_text(r.server)
+                    .unwrap()
+                    .starts_with("server0."));
+            }
+        }
+    }
+
+    #[test]
+    fn requests_per_day_totals_match() {
+        let p = profiles::u().scaled(0.02);
+        let counts = requests_per_day(&p);
+        let total: u64 = counts.iter().sum();
+        let target = p.total_requests;
+        assert!(
+            (total as i64 - target as i64).unsigned_abs() < target / 50,
+            "assigned {total} vs {target}"
+        );
+        // Fall surge: later days busier than spring days.
+        assert!(counts[158] > counts[30] * 2); // weekday vs weekday
+    }
+}

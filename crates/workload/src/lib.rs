@@ -1,0 +1,35 @@
+//! # webcache-workload
+//!
+//! Synthetic workload generators that substitute for the five proprietary
+//! Virginia Tech traces of Williams et al. (SIGCOMM 1996): Undergrad (U),
+//! Graduate (G), Classroom (C), Remote Backbone (BR) and Local Backbone
+//! (BL).
+//!
+//! Each generator is calibrated to the paper's published characteristics —
+//! request/byte volumes, Table 4 type mixes, Zipf popularity, unique-URL
+//! counts (and hence MaxNeeded), seasonal patterns, and document
+//! modification rates — so that the removal-policy experiments reproduce
+//! the paper's *shape*: which policy wins, by roughly what factor, and
+//! where the crossovers fall. See DESIGN.md for the substitution argument.
+//!
+//! ```
+//! use webcache_workload::{generate, profiles};
+//!
+//! // A 2%-scale Local Backbone trace, deterministic for the seed.
+//! let profile = profiles::bl().scaled(0.02);
+//! let trace = generate(&profile, 42);
+//! assert!(trace.len() > 900);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod generator;
+pub mod profile;
+pub mod profiles;
+pub mod seasonal;
+pub mod universe;
+
+pub use generator::generate;
+pub use profile::{ClassroomSpec, FreshPhase, ReviewSpec, TypeSpec, WorkloadProfile};
+pub use universe::Universe;

@@ -1,0 +1,350 @@
+//! The five Virginia Tech workloads of section 2, as calibrated profiles.
+//!
+//! Every number here is taken from the paper:
+//!
+//! | Workload | Days | Requests | Bytes    | MaxNeeded | Notes |
+//! |----------|------|----------|----------|-----------|-------|
+//! | U        | 190  | 173,384  | 2.19 GB  | 1400 MB   | undergrad lab; fall surge after day 155 |
+//! | G        | ~80  | 46,834   | 610.9 MB | 413 MB    | graduate time-shared host; end-of-term jump |
+//! | C        | ~100 | 30,316   | 405.7 MB | 221 MB    | classroom, 4 class days/week, exam review |
+//! | BR       | 38   | 180,132  | 9.61 GB  | 198 MB    | world → dept servers; 88% of bytes audio |
+//! | BL       | 37   | 53,881   | 644.6 MB | 408 MB    | dept clients → world; 2543 servers, 36,771 URLs |
+//!
+//! The `target_unique_urls` figures are derived from MaxNeeded:
+//! `unique ≈ requests · MaxNeeded / total_bytes` (sizes are assigned
+//! independently of popularity, so unique bytes ≈ uniques · mean size).
+//! For BL this derivation gives ≈34k — close to the paper's directly
+//! reported 36,771 unique URLs, which is good evidence the model is
+//! consistent with the real traces.
+//!
+//! Type mixes are Table 4 verbatim. Size-change rates use the paper's
+//! 0.5%-4.1% band and the 1.3% same-size modification rate measured on
+//! BR/BL.
+
+use crate::profile::{ClassroomSpec, FreshPhase, ReviewSpec, TypeSpec, WorkloadProfile};
+use crate::seasonal;
+use webcache_trace::DocType;
+
+/// Build the Table 4 type specs from `(refs%, bytes%)` pairs in table
+/// order (graphics, text, audio, video, cgi, unknown), normalising away
+/// rounding slack and dropping zero-reference types.
+fn table4(rows: [(f64, f64); 6], sigmas: [f64; 6]) -> Vec<TypeSpec> {
+    let order = DocType::ALL;
+    let ref_sum: f64 = rows.iter().map(|r| r.0).sum();
+    let byte_sum: f64 = rows.iter().map(|r| r.1).sum();
+    order
+        .iter()
+        .zip(rows)
+        .zip(sigmas)
+        .filter(|((_, (refs, _)), _)| *refs > 0.0)
+        .map(|((&doc_type, (refs, bytes)), sigma)| TypeSpec {
+            doc_type,
+            ref_share: refs / ref_sum,
+            byte_share: bytes / byte_sum,
+            sigma,
+        })
+        .collect()
+}
+
+/// Default lognormal shapes per type: text/graphics strongly right-skewed
+/// (Fig. 13: request mass under ~1 kB while means are several kB), media
+/// tighter around large means.
+const SIGMAS: [f64; 6] = [1.5, 1.5, 0.7, 0.9, 1.0, 1.8];
+
+/// Workload U — Undergrad: ~30 lab workstations, April-October 1995.
+pub fn u() -> WorkloadProfile {
+    let p = WorkloadProfile {
+        name: "U".into(),
+        days: 190,
+        total_requests: 173_384,
+        total_bytes: 2_190_000_000,
+        // 173384 · 1400 MB / 2190 MB ≈ 111k uniques, split so the fall
+        // fresh phase is unique-heavy (the paper's HR *declines* when the
+        // new fall population arrives).
+        target_unique_urls: 70_000,
+        zipf_alpha: 0.75,
+        servers: 1500,
+        server_alpha: 1.05,
+        clients: 30,
+        types: table4(
+            [
+                (53.00, 47.43),
+                (41.46, 31.05),
+                (0.09, 3.15),
+                (0.19, 18.29),
+                (0.13, 0.08),
+                (5.12, 28.23),
+            ],
+            SIGMAS,
+        ),
+        day_weights: seasonal::semester_u(190),
+        review: None,
+        fresh: Some(FreshPhase {
+            start_day: 155,
+            target_unique: 41_000,
+            prob: 0.5,
+        }),
+        classroom: None,
+        p_size_change: 0.020,
+        p_same_size_mod: 0.0,
+        p_error: 0.05,
+        p_zero_size: 0.004,
+        audio_on_one_server: false,
+        record_last_modified: false,
+    };
+    p.validate();
+    p
+}
+
+/// Workload G — Graduate: a time-shared client host, spring 1995.
+pub fn g() -> WorkloadProfile {
+    let p = WorkloadProfile {
+        name: "G".into(),
+        days: 80,
+        total_requests: 46_834,
+        total_bytes: 610_920_000,
+        target_unique_urls: 31_600,
+        zipf_alpha: 0.80,
+        servers: 800,
+        server_alpha: 1.1,
+        clients: 25,
+        types: table4(
+            [
+                (51.45, 35.39),
+                (45.23, 26.56),
+                (0.07, 1.47),
+                (0.35, 25.77),
+                (0.15, 0.12),
+                (2.76, 10.58),
+            ],
+            SIGMAS,
+        ),
+        // Jan 20 1995 was a Friday.
+        day_weights: seasonal::weekly(80, 1.0, 0.45, 4),
+        review: Some(ReviewSpec {
+            start_day: 68,
+            top_fraction: 0.10,
+            review_prob: 0.55,
+        }),
+        fresh: None,
+        classroom: None,
+        p_size_change: 0.010,
+        p_same_size_mod: 0.0,
+        p_error: 0.05,
+        p_zero_size: 0.004,
+        audio_on_one_server: false,
+        record_last_modified: false,
+    };
+    p.validate();
+    p
+}
+
+/// Workload C — Classroom: 26 workstations, four class sessions per week.
+pub fn c() -> WorkloadProfile {
+    // Mon-Thu classes; Jan 16 1995 was a Monday.
+    let classes = seasonal::class_days(100, [true, true, true, true, false, false, false], 0);
+    let p = WorkloadProfile {
+        name: "C".into(),
+        days: 100,
+        total_requests: 30_316,
+        total_bytes: 405_700_000,
+        // Classroom concentration reduces realised uniques; target is set
+        // above the MaxNeeded quotient (16.5k) to compensate.
+        target_unique_urls: 23_000,
+        zipf_alpha: 0.80,
+        servers: 300,
+        server_alpha: 1.1,
+        clients: 26,
+        types: table4(
+            [
+                (40.78, 35.42),
+                (56.06, 19.63),
+                (0.21, 2.93),
+                (0.34, 39.15),
+                (0.12, 0.03),
+                (2.49, 2.84),
+            ],
+            SIGMAS,
+        ),
+        day_weights: classes,
+        review: Some(ReviewSpec {
+            start_day: 82,
+            top_fraction: 0.08,
+            review_prob: 0.65,
+        }),
+        fresh: None,
+        classroom: Some(ClassroomSpec {
+            working_set_size: 130,
+            in_set_prob: 0.45,
+        }),
+        p_size_change: 0.005,
+        p_same_size_mod: 0.0,
+        p_error: 0.05,
+        p_zero_size: 0.004,
+        audio_on_one_server: false,
+        record_last_modified: false,
+    };
+    p.validate();
+    p
+}
+
+/// Workload BR — Remote Backbone: worldwide clients naming servers inside
+/// `.cs.vt.edu`. One audio site dominates bytes.
+pub fn br() -> WorkloadProfile {
+    let p = WorkloadProfile {
+        name: "BR".into(),
+        days: 38,
+        total_requests: 180_132,
+        total_bytes: 9_610_000_000,
+        target_unique_urls: 3_700,
+        zipf_alpha: 1.05,
+        // "typically 12 HTTP daemons running within the department".
+        servers: 12,
+        server_alpha: 1.3,
+        clients: 2_000,
+        types: table4(
+            [
+                (61.66, 8.09),
+                (34.11, 4.01),
+                (2.57, 87.78),
+                // The paper lists 0.00% refs / 0.04% bytes for video:
+                // below our resolution, dropped by the zero-refs filter.
+                (0.00, 0.00),
+                (0.22, 0.00),
+                (1.44, 0.07),
+            ],
+            SIGMAS,
+        ),
+        // Sep 17 1995 was a Sunday.
+        day_weights: seasonal::weekly(38, 1.0, 0.7, 6),
+        review: None,
+        fresh: None,
+        classroom: None,
+        p_size_change: 0.010,
+        p_same_size_mod: 0.013,
+        p_error: 0.05,
+        p_zero_size: 0.004,
+        audio_on_one_server: true,
+        record_last_modified: true,
+    };
+    p.validate();
+    p
+}
+
+/// Workload BL — Local Backbone: department clients naming servers
+/// anywhere in the world.
+pub fn bl() -> WorkloadProfile {
+    let p = WorkloadProfile {
+        name: "BL".into(),
+        days: 37,
+        total_requests: 53_881,
+        total_bytes: 644_550_000,
+        target_unique_urls: 35_000,
+        zipf_alpha: 0.80,
+        servers: 2_543,
+        server_alpha: 1.1,
+        clients: 185,
+        types: table4(
+            [
+                (51.13, 46.26),
+                (43.38, 29.30),
+                (0.25, 17.91),
+                (0.04, 3.58),
+                (0.95, 0.05),
+                (4.25, 2.89),
+            ],
+            SIGMAS,
+        ),
+        day_weights: seasonal::weekly(37, 1.0, 0.6, 6),
+        review: None,
+        fresh: None,
+        classroom: None,
+        p_size_change: 0.041,
+        p_same_size_mod: 0.013,
+        p_error: 0.05,
+        p_zero_size: 0.004,
+        audio_on_one_server: false,
+        record_last_modified: true,
+    };
+    p.validate();
+    p
+}
+
+/// All five workload profiles, in the paper's order.
+pub fn all() -> Vec<WorkloadProfile> {
+    vec![u(), g(), c(), br(), bl()]
+}
+
+/// Profile by name (case-insensitive).
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    match name.to_ascii_uppercase().as_str() {
+        "U" => Some(u()),
+        "G" => Some(g()),
+        "C" => Some(c()),
+        "BR" => Some(br()),
+        "BL" => Some(bl()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in all() {
+            p.validate();
+        }
+        assert_eq!(all().len(), 5);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("br").is_some());
+        assert!(by_name("Bl").is_some());
+        assert!(by_name("X").is_none());
+    }
+
+    #[test]
+    fn br_is_audio_byte_dominated() {
+        let p = br();
+        let audio = p
+            .types
+            .iter()
+            .find(|t| t.doc_type == DocType::Audio)
+            .unwrap();
+        assert!(audio.byte_share > 0.85);
+        assert!(audio.ref_share < 0.03);
+        // Audio documents average near the paper's implied 1.8 MB.
+        let mean = audio.mean_size(p.total_requests, p.total_bytes);
+        assert!((1_500_000.0..2_100_000.0).contains(&mean), "audio mean {mean}");
+    }
+
+    #[test]
+    fn c_meets_four_days_a_week() {
+        let p = c();
+        let active = p.day_weights.iter().filter(|&&w| w > 0.0).count();
+        // 100 days ≈ 14 weeks · 4 class days.
+        assert!((52..=60).contains(&active), "active days {active}");
+    }
+
+    #[test]
+    fn unique_targets_match_maxneeded_quotients() {
+        // unique ≈ requests · MaxNeeded / bytes, within modelling slack.
+        let cases = [
+            (g(), 413.0 / 610.92),
+            (br(), 198.0 / 9_610.0),
+            (bl(), 408.0 / 644.55),
+        ];
+        for (p, ratio) in cases {
+            let derived = p.total_requests as f64 * ratio;
+            let target = p.target_unique_urls as f64;
+            assert!(
+                (target - derived).abs() / derived < 0.12,
+                "{}: target {target} vs derived {derived}",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Daily request-rate patterns: the seasonal structure section 2.2 and the
+//! Experiment 1 figures describe for each workload.
+
+/// A constant rate every day.
+pub fn steady(days: u64) -> Vec<f64> {
+    vec![1.0; days as usize]
+}
+
+/// Weekday/weekend modulation: `weekday` weight Monday-Friday, `weekend`
+/// Saturday/Sunday. `start_dow` is the day-of-week of day 0 (0 = Monday).
+pub fn weekly(days: u64, weekday: f64, weekend: f64, start_dow: u64) -> Vec<f64> {
+    (0..days)
+        .map(|d| {
+            let dow = (d + start_dow) % 7;
+            if dow < 5 {
+                weekday
+            } else {
+                weekend
+            }
+        })
+        .collect()
+}
+
+/// Class-day pattern: traffic only on days where `pattern[dow]` is true
+/// (workload C met four days a week; "there were no URLs traced for the
+/// other three days each week").
+pub fn class_days(days: u64, pattern: [bool; 7], start_dow: u64) -> Vec<f64> {
+    (0..days)
+        .map(|d| {
+            if pattern[((d + start_dow) % 7) as usize] {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Workload U's 190-day season (Fig. 3): spring semester at full rate, a
+/// break dip around day 65, a moderate summer, and a fall surge after day
+/// 155 ("the request rate in U soared to about 5000 per day at the
+/// beginning of fall semester").
+pub fn semester_u(days: u64) -> Vec<f64> {
+    let weekly = weekly(days, 1.0, 0.55, 0);
+    (0..days)
+        .map(|d| {
+            let phase = match d {
+                0..=57 => 1.0,         // spring semester
+                58..=78 => 0.25,       // break between spring and summer
+                79..=154 => 0.6,       // summer session
+                _ => 3.6,              // fall: new users, soaring rate
+            };
+            phase * weekly[d as usize]
+        })
+        .collect()
+}
+
+/// Multiply two weight vectors element-wise (compose patterns).
+pub fn compose(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_flat() {
+        let w = steady(5);
+        assert_eq!(w, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn weekly_cycles_every_seven_days() {
+        let w = weekly(14, 2.0, 0.5, 0);
+        assert_eq!(w[0], 2.0); // Monday
+        assert_eq!(w[4], 2.0); // Friday
+        assert_eq!(w[5], 0.5); // Saturday
+        assert_eq!(w[6], 0.5); // Sunday
+        assert_eq!(w[7], 2.0); // next Monday
+        // Start on Saturday instead.
+        let w2 = weekly(7, 2.0, 0.5, 5);
+        assert_eq!(w2[0], 0.5);
+        assert_eq!(w2[2], 2.0);
+    }
+
+    #[test]
+    fn class_days_zero_out_non_class_days() {
+        // Monday-Thursday classes.
+        let pat = [true, true, true, true, false, false, false];
+        let w = class_days(14, pat, 0);
+        assert_eq!(w.iter().filter(|&&x| x > 0.0).count(), 8);
+        assert_eq!(w[4], 0.0);
+        assert_eq!(w[7], 1.0);
+    }
+
+    #[test]
+    fn semester_u_has_break_dip_and_fall_surge() {
+        let w = semester_u(190);
+        assert_eq!(w.len(), 190);
+        // Break is quieter than spring; fall is busier than everything.
+        assert!(w[65] < w[30]);
+        assert!(w[158] > w[30] * 2.0); // weekday vs weekday
+        // Weekend modulation persists through phases.
+        assert!(w[5] < w[4] || w[6] < w[4]);
+    }
+
+    #[test]
+    fn compose_multiplies() {
+        assert_eq!(compose(&[1.0, 2.0], &[0.5, 0.5]), vec![0.5, 1.0]);
+    }
+}

@@ -1,0 +1,334 @@
+//! The URL universe: every document a synthetic workload can reference,
+//! with its server, type, and base size fixed at build time.
+//!
+//! Type assignment is *stratified across popularity ranks* so that the
+//! request-weighted type mix tracks Table 4's `%Refs` column closely: a
+//! greedy quota walk assigns each rank the type with the largest deficit.
+//! Without stratification, a popular head URL landing on a rare type (BR's
+//! audio is 2.6% of references) would swing the realised mix wildly.
+
+use crate::dist::{SizeDist, ZipfSampler};
+use crate::profile::{TypeSpec, WorkloadProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use webcache_trace::DocType;
+
+/// One document in the universe.
+#[derive(Debug, Clone)]
+pub struct UrlSpec {
+    /// Full URL text (classifies back to `doc_type` via extension).
+    pub url: String,
+    /// Index of the server hosting the document.
+    pub server: usize,
+    /// Media type.
+    pub doc_type: DocType,
+    /// Size in bytes at trace start.
+    pub base_size: u64,
+}
+
+/// The complete document population for one workload.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// Base-phase documents, most popular first.
+    pub urls: Vec<UrlSpec>,
+    /// Number of base documents (`urls[..base_count]`); the rest belong to
+    /// the fresh phase (workload U's fall population).
+    pub base_count: usize,
+}
+
+fn extension(t: DocType) -> &'static str {
+    match t {
+        DocType::Graphics => "gif",
+        DocType::Text => "html",
+        DocType::Audio => "au",
+        DocType::Video => "mpg",
+        DocType::Cgi => "cgi",
+        DocType::Unknown => "ps",
+    }
+}
+
+/// Assign types to `n` popularity ranks by largest-deficit quotas.
+fn stratified_types(types: &[TypeSpec], n: usize) -> Vec<DocType> {
+    let mut counts = vec![0f64; types.len()];
+    let mut out = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut best = 0;
+        let mut best_deficit = f64::MIN;
+        for (i, t) in types.iter().enumerate() {
+            let deficit = t.ref_share * (rank + 1) as f64 - counts[i];
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = i;
+            }
+        }
+        counts[best] += 1.0;
+        out.push(types[best].doc_type);
+    }
+    out
+}
+
+impl Universe {
+    /// Build the universe for a profile: `base` base documents plus
+    /// `fresh` fresh-phase documents, with sizes calibrated so that the
+    /// *popularity-weighted* request bytes per type hit the Table 4
+    /// byte shares (`base_draws`/`fresh_draws` are the expected request
+    /// counts against each phase).
+    ///
+    /// Without the popularity weighting, a single hot head URL drawing a
+    /// heavy-tailed size would swing a workload's realised byte mix by
+    /// tens of percentage points (Zipf head × lognormal tail = enormous
+    /// variance); the per-type rescaling pins the mix while preserving
+    /// each distribution's shape.
+    pub fn build_calibrated(
+        profile: &WorkloadProfile,
+        base: usize,
+        fresh: usize,
+        base_draws: u64,
+        fresh_draws: u64,
+        seed: u64,
+    ) -> Universe {
+        let mut u = Universe::build(profile, base, fresh, seed);
+        let total_draws = (base_draws + fresh_draws).max(1);
+        for (offset, count, draws) in [(0usize, base, base_draws), (base, fresh, fresh_draws)] {
+            if count == 0 || draws == 0 {
+                continue;
+            }
+            // Zipf request weight of rank i within the phase.
+            let h: f64 = (1..=count).map(|i| (i as f64).powf(-profile.zipf_alpha)).sum();
+            let weight =
+                |i: usize| (i as f64 + 1.0).powf(-profile.zipf_alpha) / h * draws as f64;
+            for t in &profile.types {
+                if t.ref_share <= 0.0 {
+                    continue;
+                }
+                let target = t.byte_share
+                    * profile.total_bytes as f64
+                    * (draws as f64 / total_draws as f64);
+                let realized: f64 = u.urls[offset..offset + count]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.doc_type == t.doc_type)
+                    .map(|(i, s)| weight(i) * s.base_size as f64)
+                    .sum();
+                if realized <= 0.0 {
+                    continue;
+                }
+                let factor = target / realized;
+                for (_, s) in u.urls[offset..offset + count]
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, s)| s.doc_type == t.doc_type)
+                {
+                    s.base_size = ((s.base_size as f64 * factor) as u64).max(32);
+                }
+            }
+        }
+        u
+    }
+
+    /// Build the universe for a profile: `base` base documents plus
+    /// `fresh` fresh-phase documents.
+    pub fn build(profile: &WorkloadProfile, base: usize, fresh: usize, seed: u64) -> Universe {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+        let server_sampler = ZipfSampler::new(profile.servers, profile.server_alpha);
+        let size_dists: Vec<(DocType, SizeDist)> = profile
+            .types
+            .iter()
+            .filter(|t| t.ref_share > 0.0)
+            .map(|t| {
+                let mean = t.mean_size(profile.total_requests, profile.total_bytes).max(64.0);
+                (t.doc_type, SizeDist::with_mean(mean, t.sigma))
+            })
+            .collect();
+        let usable: Vec<TypeSpec> = profile
+            .types
+            .iter()
+            .filter(|t| t.ref_share > 0.0)
+            .copied()
+            .collect();
+
+        let mut urls = Vec::with_capacity(base + fresh);
+        // Base and fresh ranks get independent stratifications so both
+        // phases carry the Table 4 mix.
+        for (offset, count) in [(0usize, base), (base, fresh)] {
+            let types = stratified_types(&usable, count);
+            for (i, doc_type) in types.into_iter().enumerate() {
+                let rank = offset + i;
+                let server = if profile.audio_on_one_server && doc_type == DocType::Audio {
+                    0
+                } else {
+                    server_sampler.sample(&mut rng)
+                };
+                let dist = size_dists
+                    .iter()
+                    .find(|(t, _)| *t == doc_type)
+                    .map(|(_, d)| *d)
+                    .expect("every assigned type has a distribution");
+                let base_size = dist.sample(&mut rng);
+                let url = format!(
+                    "http://server{server}.{}.edu/doc{rank}.{}",
+                    profile.name.to_ascii_lowercase().replace('@', "-"),
+                    extension(doc_type)
+                );
+                urls.push(UrlSpec {
+                    url,
+                    server,
+                    doc_type,
+                    base_size,
+                });
+            }
+        }
+        Universe {
+            urls,
+            base_count: base,
+        }
+    }
+
+    /// Total documents (base + fresh).
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// True when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// Draw a new size for a modified document: a lognormal perturbation
+    /// of the document's *base* size, at least 1 byte and different from
+    /// the current size. Perturbing the base rather than the current size
+    /// keeps repeated modifications mean-stable — compounding multiplies
+    /// into a geometric random walk that inflates hot documents by orders
+    /// of magnitude over a long trace.
+    pub fn modified_size<R: Rng + ?Sized>(base: u64, current: u64, rng: &mut R) -> u64 {
+        let factor: f64 = {
+            let d = rand_distr::LogNormal::new(0.0, 0.25).expect("valid");
+            rand::distributions::Distribution::sample(&d, rng)
+        };
+        let new = ((base as f64 * factor) as u64).max(1);
+        if new == current {
+            new + 1
+        } else {
+            new
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn stratified_assignment_tracks_shares_at_every_prefix() {
+        let types = vec![
+            TypeSpec {
+                doc_type: DocType::Graphics,
+                ref_share: 0.6,
+                byte_share: 0.5,
+                sigma: 1.0,
+            },
+            TypeSpec {
+                doc_type: DocType::Text,
+                ref_share: 0.37,
+                byte_share: 0.3,
+                sigma: 1.0,
+            },
+            TypeSpec {
+                doc_type: DocType::Audio,
+                ref_share: 0.03,
+                byte_share: 0.2,
+                sigma: 0.6,
+            },
+        ];
+        let assigned = stratified_types(&types, 1000);
+        for prefix in [10, 100, 1000] {
+            let g = assigned[..prefix]
+                .iter()
+                .filter(|&&t| t == DocType::Graphics)
+                .count() as f64
+                / prefix as f64;
+            assert!((g - 0.6).abs() < 0.11, "prefix {prefix}: graphics {g}");
+        }
+        let audio = assigned.iter().filter(|&&t| t == DocType::Audio).count();
+        assert!((25..=35).contains(&audio), "audio count {audio}");
+    }
+
+    #[test]
+    fn build_produces_classifiable_urls() {
+        let p = profiles::bl().scaled(0.01);
+        let u = Universe::build(&p, 500, 0, 42);
+        assert_eq!(u.len(), 500);
+        for spec in &u.urls {
+            assert_eq!(
+                DocType::classify(&spec.url),
+                spec.doc_type,
+                "URL {} does not classify back to {:?}",
+                spec.url,
+                spec.doc_type
+            );
+            assert!(spec.base_size >= 32);
+            assert!(spec.server < p.servers);
+        }
+    }
+
+    #[test]
+    fn audio_concentrates_on_server_zero_when_flagged() {
+        let p = profiles::br().scaled(0.01);
+        assert!(p.audio_on_one_server);
+        let u = Universe::build(&p, 1000, 0, 7);
+        for spec in &u.urls {
+            if spec.doc_type == DocType::Audio {
+                assert_eq!(spec.server, 0);
+            }
+        }
+        // And there *are* audio documents despite the 2.6% ref share.
+        assert!(u.urls.iter().any(|s| s.doc_type == DocType::Audio));
+    }
+
+    #[test]
+    fn fresh_documents_extend_the_universe() {
+        let p = profiles::u().scaled(0.005);
+        let uni = Universe::build(&p, 300, 100, 1);
+        assert_eq!(uni.base_count, 300);
+        assert_eq!(uni.len(), 400);
+    }
+
+    #[test]
+    fn modified_size_changes_and_stays_positive() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for base in [1u64, 50, 10_000, 1_000_000] {
+            let new = Universe::modified_size(base, base, &mut rng);
+            assert_ne!(new, base);
+            assert!(new >= 1);
+        }
+    }
+
+    #[test]
+    fn repeated_modifications_do_not_drift() {
+        // A hot document modified hundreds of times must stay near its
+        // base size (no compounding random walk).
+        let mut rng = StdRng::seed_from_u64(10);
+        let base = 100_000u64;
+        let mut size = base;
+        for _ in 0..500 {
+            size = Universe::modified_size(base, size, &mut rng);
+            assert!(
+                size > base / 4 && size < base * 4,
+                "size drifted to {size} from base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let p = profiles::g().scaled(0.01);
+        let a = Universe::build(&p, 200, 0, 5);
+        let b = Universe::build(&p, 200, 0, 5);
+        assert_eq!(a.urls.len(), b.urls.len());
+        for (x, y) in a.urls.iter().zip(&b.urls) {
+            assert_eq!(x.url, y.url);
+            assert_eq!(x.base_size, y.base_size);
+        }
+    }
+}

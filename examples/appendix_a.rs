@@ -1,0 +1,83 @@
+//! Appendix A: the paper's simulator instrumentation, live.
+//!
+//! The paper's PERL simulator reported, beyond HR/WHR: "location in
+//! sorted list of each URL hit, current cache size, number of accesses
+//! and times of access for each URL". This example runs an instrumented
+//! LRU cache and an instrumented SIZE cache over the same workload and
+//! prints those measures — showing *why* LRU loses: its hits sit deep in
+//! the removal order (weak temporal locality, the Fig. 14 story), so the
+//! documents LRU is about to evict are rarely the ones that will hit.
+//!
+//! ```sh
+//! cargo run --release --example appendix_a [workload] [scale]
+//! ```
+
+use webcache::core::cache::Cache;
+use webcache::core::policy::named;
+use webcache::core::sim::instrument::InstrumentedCache;
+use webcache::core::sim::{max_needed, simulate};
+use webcache::workload::{generate, profiles};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "BL".to_string());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let profile = profiles::by_name(&workload)
+        .expect("workload is one of U, G, C, BR, BL")
+        .scaled(scale);
+    let trace = generate(&profile, 11);
+    let capacity = max_needed(&trace) / 10;
+    println!(
+        "workload {workload} ({} requests), cache = {} bytes (10% of MaxNeeded)\n",
+        trace.len(),
+        capacity
+    );
+
+    for make in [named::lru, named::size] {
+        let policy = make();
+        let name = webcache::core::policy::RemovalPolicy::name(&policy);
+        let mut ic = InstrumentedCache::new(Cache::new(capacity, Box::new(policy)), 500);
+        let res = simulate(&trace, &mut ic, &name);
+        let totals = res.stream("cache").expect("stream").total;
+        let rep = ic.report();
+        println!(
+            "policy {name}: HR {:.1}%, WHR {:.1}%",
+            totals.hit_rate() * 100.0,
+            totals.weighted_hit_rate() * 100.0
+        );
+        println!(
+            "  hits within 15 places of eviction: {:.1}%",
+            rep.hits_within_position(15) * 100.0
+        );
+        let (t_min, s_min) = rep.size_samples.first().copied().unwrap_or((0, 0));
+        let (t_max, s_max) = rep.size_samples.last().copied().unwrap_or((0, 0));
+        println!(
+            "  cache size samples: {} taken, {:.2} MB @t{} → {:.2} MB @t{}",
+            rep.size_samples.len(),
+            s_min as f64 / 1e6,
+            t_min,
+            s_max as f64 / 1e6,
+            t_max
+        );
+        println!(
+            "  URLs referenced ≥10 times: {} of {}",
+            rep.urls_with_at_least(10),
+            rep.url_access.len()
+        );
+        // The single busiest URL's access record.
+        if let Some((url, acc)) = rep.url_access.iter().max_by_key(|(_, a)| a.nrefs) {
+            println!(
+                "  hottest URL {url}: {} refs ({} hits), first t{} last t{}\n",
+                acc.nrefs, acc.hits, acc.first_access, acc.last_access
+            );
+        }
+    }
+    println!(
+        "Reading: under LRU most hits land far from the eviction point —\n\
+         the interreference times of Fig. 14 are simply longer than a 10%\n\
+         cache's residency under recency ordering. SIZE keeps small, hot\n\
+         documents resident regardless of how long ago they were touched."
+    );
+}

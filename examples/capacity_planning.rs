@@ -1,0 +1,88 @@
+//! Capacity planning: how big should the proxy's disk be?
+//!
+//! A downstream question the paper's Experiment 1/2 data answers: sweep
+//! the cache size from 1% to 100% of MaxNeeded under the best policy
+//! (SIZE) and under LRU, plot the hit-rate curves, and find the knee —
+//! the point past which more disk buys little. Also demonstrates the
+//! two-level configuration: a small L1 backed by a large L2.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning [workload] [scale]
+//! ```
+
+use webcache::core::cache::multilevel::TwoLevelCache;
+use webcache::core::cache::Cache;
+use webcache::core::policy::named;
+use webcache::core::sim::{max_needed, simulate, simulate_policy};
+use webcache::stats::{report, Table};
+use webcache::workload::{generate, profiles};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "G".to_string());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let profile = profiles::by_name(&workload)
+        .expect("workload is one of U, G, C, BR, BL")
+        .scaled(scale);
+    let trace = generate(&profile, 11);
+    let max = max_needed(&trace);
+    println!(
+        "workload {workload}: {} requests, MaxNeeded {} MB\n",
+        trace.len(),
+        report::mb(max)
+    );
+
+    let mut table = Table::new(vec![
+        "Cache (% MaxNeeded)",
+        "SIZE HR %",
+        "LRU HR %",
+        "SIZE WHR %",
+        "LRU WHR %",
+    ]);
+    let mut knee_found = None;
+    let mut prev_hr = 0.0;
+    for pct in [1, 2, 5, 10, 20, 35, 50, 75, 100] {
+        let capacity = (max as f64 * pct as f64 / 100.0) as u64;
+        let size = simulate_policy(&trace, capacity, Box::new(named::size()));
+        let lru = simulate_policy(&trace, capacity, Box::new(named::lru()));
+        let st = size.stream("cache").expect("stream").total;
+        let lt = lru.stream("cache").expect("stream").total;
+        table.row(vec![
+            format!("{pct}"),
+            report::pct(st.hit_rate()),
+            report::pct(lt.hit_rate()),
+            report::pct(st.weighted_hit_rate()),
+            report::pct(lt.weighted_hit_rate()),
+        ]);
+        // Knee: the first size where another doubling gains < 2% HR.
+        if knee_found.is_none() && pct > 1 && st.hit_rate() - prev_hr < 0.02 {
+            knee_found = Some(pct);
+        }
+        prev_hr = st.hit_rate();
+    }
+    println!("{}", table.render());
+    match knee_found {
+        Some(pct) => println!(
+            "knee: ≈{pct}% of MaxNeeded ({} MB) — beyond this, more disk buys <2% HR per step",
+            report::mb((max as f64 * pct as f64 / 100.0) as u64)
+        ),
+        None => println!("hit rate keeps climbing to 100% of MaxNeeded"),
+    }
+
+    // Two-level alternative: tiny L1 (2%) + generous L2 (50%).
+    let mut hierarchy = TwoLevelCache::new(
+        Cache::new(max / 50, Box::new(named::size())),
+        Cache::new(max / 2, Box::new(named::lru())),
+    );
+    let res = simulate(&trace, &mut hierarchy, "L1 2% + L2 50%");
+    let l1 = res.stream("l1").expect("l1").total;
+    let l2 = res.stream("l2").expect("l2").total;
+    println!(
+        "\ntwo-level: L1 (2%) HR {} | L2 (50%) adds {} HR / {} WHR over all requests",
+        report::pct(l1.hit_rate()),
+        report::pct(l2.hit_rate()),
+        report::pct(l2.weighted_hit_rate()),
+    );
+}

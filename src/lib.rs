@@ -1,0 +1,45 @@
+//! # webcache
+//!
+//! A full reproduction of Williams, Abrams, Standridge, Abdulla & Fox,
+//! *Removal Policies in Network Caches for World-Wide Web Documents*
+//! (ACM SIGCOMM 1996), as a workspace of production-grade Rust crates.
+//! This facade crate re-exports the pieces:
+//!
+//! * [`trace`] — request records, Common Log Format, the section 1.1
+//!   validation pipeline, trace characterisation.
+//! * [`workload`] — synthetic generators for the paper's five Virginia
+//!   Tech traces (U, G, C, BR, BL), calibrated to every published
+//!   statistic.
+//! * [`core`] — the paper's contribution: the sorting-key taxonomy of
+//!   removal policies, the proxy-cache simulator, two-level and
+//!   partitioned caches.
+//! * [`stats`] — daily hit-rate series, 7-day moving averages, Zipf fits,
+//!   histograms and report tables.
+//! * [`proxy`] — a working HTTP/1.0 caching proxy and origin server
+//!   driven by the same policies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use webcache::core::policy::named;
+//! use webcache::core::sim::simulate_policy;
+//! use webcache::workload::{generate, profiles};
+//!
+//! // A small synthetic Local-Backbone trace …
+//! let trace = generate(&profiles::bl().scaled(0.01), 42);
+//! // … a cache at 10% of what an infinite cache would need …
+//! let capacity = webcache::core::sim::max_needed(&trace) / 10;
+//! // … and the paper's headline comparison:
+//! let size = simulate_policy(&trace, capacity, Box::new(named::size()));
+//! let lru = simulate_policy(&trace, capacity, Box::new(named::lru()));
+//! let hr = |r: &webcache::core::sim::SimResult| r.stream("cache").unwrap().total.hit_rate();
+//! assert!(hr(&size) > hr(&lru), "SIZE removal maximises hit rate");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use webcache_core as core;
+pub use webcache_proxy as proxy;
+pub use webcache_stats as stats;
+pub use webcache_trace as trace;
+pub use webcache_workload as workload;
