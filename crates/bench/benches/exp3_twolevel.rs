@@ -34,11 +34,7 @@ fn bench(c: &mut Criterion) {
             l2.weighted_hit_rate() * 100.0
         );
         group.bench_function(workload, |b| {
-            b.iter_batched(
-                || trace.clone(),
-                |t| run(&t, l1_cap),
-                BatchSize::LargeInput,
-            )
+            b.iter_batched(|| trace.clone(), |t| run(&t, l1_cap), BatchSize::LargeInput)
         });
     }
     group.finish();

@@ -10,8 +10,7 @@ use webcache_core::sim::{max_needed, simulate};
 const SCALE: f64 = 0.05;
 
 fn run(trace: &webcache_trace::Trace, capacity: u64, frac: f64) -> webcache_core::sim::SimResult {
-    let mut system =
-        PartitionedCache::audio_split(capacity, frac, || Box::new(named::size()));
+    let mut system = PartitionedCache::audio_split(capacity, frac, || Box::new(named::size()));
     simulate(trace, &mut system, "partitioned")
 }
 

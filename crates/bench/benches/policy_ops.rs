@@ -22,7 +22,9 @@ fn mk_request(i: u64, universe: u64) -> Request {
     }
 }
 
-fn policies() -> Vec<(&'static str, fn() -> Box<dyn RemovalPolicy>)> {
+type PolicyCtor = fn() -> Box<dyn RemovalPolicy>;
+
+fn policies() -> Vec<(&'static str, PolicyCtor)> {
     vec![
         ("FIFO", || Box::new(named::fifo())),
         ("LRU", || Box::new(named::lru())),

@@ -45,7 +45,11 @@ fn bench(c: &mut Criterion) {
         );
     }
     group.bench_function("table4_typemix", |b| {
-        b.iter_batched(|| trace.clone(), |t| tstats::TypeMix::of(&t), BatchSize::LargeInput)
+        b.iter_batched(
+            || trace.clone(),
+            |t| tstats::TypeMix::of(&t),
+            BatchSize::LargeInput,
+        )
     });
     group.bench_function("fig1_server_ranks", |b| {
         b.iter_batched(

@@ -1,0 +1,141 @@
+//! Before/after benchmark of the single-pass multi-policy engine.
+//!
+//! Replays the Experiment 2 sweep (the full 36-policy design of Table 5)
+//! on every workload at scale 0.1, two ways:
+//!
+//! * **before** — the seed architecture: one full trace pass per policy,
+//!   a SipHash `HashMap` document store (`Cache<HashStore>` driven by
+//!   `simulate`) and a SipHash `HashMap` rank map
+//!   ([`BaselineSortedPolicy`]);
+//! * **after** — [`MultiSim`]: every policy as a lane of one shared pass
+//!   over the borrowed trace, dense slab document and rank stores, lanes
+//!   chunked across available threads.
+//!
+//! Both sides must produce bit-identical counters (asserted here before
+//! any number is reported). Timings land in `BENCH_sweep.json` at the
+//! repository root; see README.md for the format.
+
+use std::time::Instant;
+use webcache_bench::BaselineSortedPolicy;
+use webcache_core::cache::{Cache, HashStore};
+use webcache_core::policy::{KeySpec, RemovalPolicy, SortedPolicy};
+use webcache_core::sim::{max_needed, simulate, MultiSim};
+use webcache_experiments::runner::WORKLOADS;
+use webcache_experiments::Ctx;
+
+const SCALE: f64 = 0.1;
+const SEED: u64 = 1;
+const CACHE_FRACTION: f64 = 0.1;
+/// Runs per side per workload; reps alternate before/after so slow phases
+/// of a shared machine hit both sides, and best-of-N damps the rest.
+const REPS: usize = 5;
+
+struct WorkloadTiming {
+    workload: &'static str,
+    requests: usize,
+    before_ms: f64,
+    after_ms: f64,
+}
+
+fn main() {
+    let specs: Vec<KeySpec> = KeySpec::all36(0);
+    let n_policies = specs.len();
+    let ctx = Ctx::with_scale(SCALE, SEED);
+    let mut rows: Vec<WorkloadTiming> = Vec::new();
+
+    for workload in WORKLOADS {
+        let trace = ctx.trace(workload);
+        let capacity = ((max_needed(&trace) as f64 * CACHE_FRACTION) as u64).max(1);
+
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        let mut before_ms = f64::INFINITY;
+        let mut after_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            // Before: one SipHash-backed pass per policy.
+            let t0 = Instant::now();
+            before = specs
+                .iter()
+                .map(|&spec| {
+                    let policy = Box::new(BaselineSortedPolicy::new(spec));
+                    let mut cache = Cache::<HashStore>::new_in(capacity, policy);
+                    simulate(&trace, &mut cache, &spec.name())
+                })
+                .collect();
+            before_ms = before_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+            // After: all policies as lanes of one shared slab-backed pass.
+            let lanes = specs
+                .iter()
+                .map(|&spec| {
+                    let policy = Box::new(SortedPolicy::new(spec)) as Box<dyn RemovalPolicy>;
+                    (spec.name(), policy)
+                })
+                .collect();
+            let t1 = Instant::now();
+            after = MultiSim::new(&trace, capacity).run(lanes);
+            after_ms = after_ms.min(t1.elapsed().as_secs_f64() * 1e3);
+        }
+
+        // The optimisation must not change a single counter.
+        assert_eq!(before.len(), after.len());
+        for (b, (label, a)) in before.iter().zip(&after) {
+            let (bt, at) = (
+                b.stream("cache").expect("stream").total,
+                a.stream("cache").expect("stream").total,
+            );
+            assert_eq!(bt, at, "{workload}/{label}: totals diverged");
+            assert_eq!(b.gauges, a.gauges, "{workload}/{label}: gauges diverged");
+        }
+
+        eprintln!(
+            "{workload}: {} requests, before {before_ms:.0} ms, after {after_ms:.0} ms \
+             ({:.2}x)",
+            trace.len(),
+            before_ms / after_ms
+        );
+        rows.push(WorkloadTiming {
+            workload,
+            requests: trace.len(),
+            before_ms,
+            after_ms,
+        });
+    }
+
+    let total_before: f64 = rows.iter().map(|r| r.before_ms).sum();
+    let total_after: f64 = rows.iter().map(|r| r.after_ms).sum();
+    let speedup = total_before / total_after;
+    eprintln!(
+        "total: before {total_before:.0} ms, after {total_after:.0} ms, speedup {speedup:.2}x"
+    );
+
+    let per_workload = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"requests\": {}, \"before_ms\": {:.1}, \
+                 \"after_ms\": {:.1}, \"speedup\": {:.3}}}",
+                r.workload,
+                r.requests,
+                r.before_ms,
+                r.after_ms,
+                r.before_ms / r.after_ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"bench_sweep_v1\",\n  \"scale\": {SCALE},\n  \"seed\": {SEED},\n  \
+         \"cache_fraction\": {CACHE_FRACTION},\n  \"policy_set\": \"All36\",\n  \
+         \"policies\": {n_policies},\n  \"threads\": {},\n  \
+         \"before\": \"serial per-policy passes, SipHash HashMap doc+rank stores\",\n  \
+         \"after\": \"MultiSim single shared pass, dense slab doc+rank stores\",\n  \
+         \"workloads\": [\n{per_workload}\n  ],\n  \
+         \"total_before_ms\": {total_before:.1},\n  \"total_after_ms\": {total_after:.1},\n  \
+         \"speedup\": {speedup:.3}\n}}\n",
+        rayon::current_num_threads(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(out, json).expect("write BENCH_sweep.json");
+    eprintln!("wrote {out}");
+}

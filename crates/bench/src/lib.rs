@@ -67,6 +67,69 @@ impl RemovalPolicy for ResortPolicy {
     }
 }
 
+/// Pre-engine replica of `SortedPolicy`, kept as the *before* side of the
+/// `sweep` benchmark: a `BTreeSet` order plus a SipHash `HashMap` rank
+/// map, exactly the layout the simulator shipped with before the
+/// single-pass engine replaced the rank map with a dense slab. Behaviour
+/// is identical to `SortedPolicy` (asserted by `sweep` and by the test
+/// below); only the constant factors differ.
+#[derive(Debug, Clone)]
+pub struct BaselineSortedPolicy {
+    spec: KeySpec,
+    order: std::collections::BTreeSet<((i64, i64, i64), UrlId)>,
+    ranks: std::collections::HashMap<UrlId, (i64, i64, i64)>,
+}
+
+impl BaselineSortedPolicy {
+    /// Create the baseline with the same key semantics as
+    /// [`webcache_core::policy::SortedPolicy`].
+    pub fn new(spec: KeySpec) -> BaselineSortedPolicy {
+        BaselineSortedPolicy {
+            spec,
+            order: std::collections::BTreeSet::new(),
+            ranks: std::collections::HashMap::new(),
+        }
+    }
+
+    fn upsert(&mut self, meta: &DocMeta) {
+        let rank = self.spec.rank(meta);
+        if let Some(old) = self.ranks.insert(meta.url, rank) {
+            self.order.remove(&(old, meta.url));
+        }
+        self.order.insert((rank, meta.url));
+    }
+}
+
+impl RemovalPolicy for BaselineSortedPolicy {
+    fn name(&self) -> String {
+        self.spec.name()
+    }
+
+    fn on_insert(&mut self, meta: &DocMeta) {
+        self.upsert(meta);
+    }
+
+    fn on_access(&mut self, meta: &DocMeta) {
+        if self.spec.access_sensitive() {
+            self.upsert(meta);
+        }
+    }
+
+    fn on_remove(&mut self, url: UrlId) {
+        if let Some(rank) = self.ranks.remove(&url) {
+            self.order.remove(&(rank, url));
+        }
+    }
+
+    fn victim(&mut self, _now: Timestamp, _incoming_size: u64) -> Option<UrlId> {
+        self.order.first().map(|&(_, url)| url)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+}
+
 /// A deterministic benchmark trace: `workload` at `scale`, fixed seed.
 pub fn bench_trace(workload: &str, scale: f64) -> Trace {
     let profile = webcache_workload::profiles::by_name(workload)
@@ -96,6 +159,22 @@ mod tests {
                 a.stream("cache").unwrap().total,
                 b.stream("cache").unwrap().total,
                 "{key:?}: baselines diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_replica_baseline_matches_sorted_policy() {
+        let trace = bench_trace("G", 0.01);
+        let cap = webcache_core::sim::max_needed(&trace) / 10;
+        for key in [Key::Size, Key::AccessTime, Key::NRef] {
+            let spec = KeySpec::primary(key);
+            let a = simulate_policy(&trace, cap, Box::new(SortedPolicy::new(spec)));
+            let b = simulate_policy(&trace, cap, Box::new(BaselineSortedPolicy::new(spec)));
+            assert_eq!(
+                a.stream("cache").unwrap().total,
+                b.stream("cache").unwrap().total,
+                "{key:?}: seed replica diverges"
             );
         }
     }

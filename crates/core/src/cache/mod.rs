@@ -9,6 +9,9 @@
 
 pub mod multilevel;
 pub mod partitioned;
+pub mod store;
+
+pub use store::{DocStore, HashStore, SlabStore};
 
 use crate::policy::RemovalPolicy;
 use serde::{Deserialize, Serialize};
@@ -154,17 +157,22 @@ pub struct CacheStats {
 }
 
 /// A single-level proxy cache with a pluggable removal policy.
-pub struct Cache {
+///
+/// Generic over its resident-set container (`S`); the default
+/// [`SlabStore`] indexes documents densely by `UrlId` and is what every
+/// production path uses. [`HashStore`] exists for equivalence testing and
+/// sparse-id callers.
+pub struct Cache<S: DocStore = SlabStore> {
     capacity: u64,
     used: u64,
-    docs: std::collections::HashMap<UrlId, DocMeta>,
+    docs: S,
     policy: Box<dyn RemovalPolicy>,
     stats: CacheStats,
     decorator: Option<MetaDecorator>,
     current_day: u64,
 }
 
-impl std::fmt::Debug for Cache {
+impl<S: DocStore> std::fmt::Debug for Cache<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cache")
             .field("capacity", &self.capacity)
@@ -178,15 +186,7 @@ impl std::fmt::Debug for Cache {
 impl Cache {
     /// Create a cache of `capacity` bytes using `policy` for removal.
     pub fn new(capacity: u64, policy: Box<dyn RemovalPolicy>) -> Cache {
-        Cache {
-            capacity,
-            used: 0,
-            docs: std::collections::HashMap::new(),
-            policy,
-            stats: CacheStats::default(),
-            decorator: None,
-            current_day: 0,
-        }
+        Cache::new_in(capacity, policy)
     }
 
     /// Create an unbounded cache (Experiment 1: "simulating an infinite
@@ -195,9 +195,25 @@ impl Cache {
     pub fn infinite(policy: Box<dyn RemovalPolicy>) -> Cache {
         Cache::new(u64::MAX, policy)
     }
+}
+
+impl<S: DocStore> Cache<S> {
+    /// Create a cache of `capacity` bytes with an explicitly chosen
+    /// document store (e.g. `Cache::<HashStore>::new_in(...)`).
+    pub fn new_in(capacity: u64, policy: Box<dyn RemovalPolicy>) -> Cache<S> {
+        Cache {
+            capacity,
+            used: 0,
+            docs: S::default(),
+            policy,
+            stats: CacheStats::default(),
+            decorator: None,
+            current_day: 0,
+        }
+    }
 
     /// Attach a [`MetaDecorator`] that enriches metadata at insert time.
-    pub fn with_decorator(mut self, d: MetaDecorator) -> Cache {
+    pub fn with_decorator(mut self, d: MetaDecorator) -> Cache<S> {
         self.decorator = Some(d);
         self
     }
@@ -239,12 +255,12 @@ impl Cache {
 
     /// Is this document resident (regardless of size/version)?
     pub fn contains(&self, url: UrlId) -> bool {
-        self.docs.contains_key(&url)
+        self.docs.contains(url)
     }
 
     /// Metadata of a resident document.
     pub fn meta(&self, url: UrlId) -> Option<&DocMeta> {
-        self.docs.get(&url)
+        self.docs.get(url)
     }
 
     /// Position of a resident document in the policy's removal order
@@ -254,18 +270,29 @@ impl Cache {
         self.policy.removal_position(url)
     }
 
+    /// Ask the policy to maintain whatever auxiliary index it needs to
+    /// answer [`Cache::removal_position`] in sublinear time. Called by the
+    /// Appendix A instrumentation, which queries the position on every
+    /// request; plain sweeps skip it and keep the leaner hot path.
+    pub fn enable_position_tracking(&mut self) {
+        self.policy.enable_position_tracking();
+    }
+
     /// Iterate over resident documents (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &DocMeta> {
-        self.docs.values()
+        self.docs.iter()
     }
 
     /// Handle one client request per the section 1.1 semantics.
+    // Inlined so per-request drivers (simulate, MultiSim) can elide the
+    // Outcome when the caller discards it.
+    #[inline]
     pub fn request(&mut self, r: &Request) -> Outcome {
         self.advance_time(r.time);
         self.stats.counts.requests += 1;
         self.stats.counts.bytes_requested += r.size;
 
-        if let Some(meta) = self.docs.get_mut(&r.url) {
+        if let Some(meta) = self.docs.get_mut(r.url) {
             if meta.size == r.size {
                 // Hit: same URL, same size.
                 meta.last_access = r.time;
@@ -294,7 +321,7 @@ impl Cache {
     /// Remove a document by URL (used for invalidation and by multi-level
     /// coordination). Returns its metadata if it was resident.
     pub fn remove(&mut self, url: UrlId) -> Option<DocMeta> {
-        let meta = self.docs.remove(&url)?;
+        let meta = self.docs.remove(url)?;
         self.used -= meta.size;
         self.policy.on_remove(url);
         Some(meta)
@@ -316,7 +343,7 @@ impl Cache {
                 .expect("cache is over capacity but the policy offered no victim");
             let meta = self
                 .docs
-                .remove(&victim)
+                .remove(victim)
                 .expect("policy returned a victim that is not resident");
             self.used -= meta.size;
             self.policy.on_remove(victim);
@@ -341,7 +368,7 @@ impl Cache {
         }
         self.used += meta.size;
         self.stats.max_used = self.stats.max_used.max(self.used);
-        self.docs.insert(r.url, meta);
+        self.docs.insert(meta);
         self.policy.on_insert(&meta);
         Some(evicted)
     }
@@ -353,7 +380,7 @@ impl Cache {
         if meta.size > self.capacity {
             return false;
         }
-        if let Some(old) = self.docs.remove(&meta.url) {
+        if let Some(old) = self.docs.remove(meta.url) {
             self.used -= old.size;
             self.policy.on_remove(meta.url);
         }
@@ -362,7 +389,7 @@ impl Cache {
                 .policy
                 .victim(meta.last_access, meta.size)
                 .expect("cache is over capacity but the policy offered no victim");
-            let v = self.docs.remove(&victim).expect("victim not resident");
+            let v = self.docs.remove(victim).expect("victim not resident");
             self.used -= v.size;
             self.policy.on_remove(victim);
             self.stats.evictions += 1;
@@ -372,7 +399,7 @@ impl Cache {
         meta.entry_time = meta.last_access;
         self.used += meta.size;
         self.stats.max_used = self.stats.max_used.max(self.used);
-        self.docs.insert(meta.url, meta);
+        self.docs.insert(meta);
         self.policy.on_insert(&meta);
         true
     }
@@ -385,15 +412,15 @@ impl Cache {
         while self.current_day < day {
             self.current_day += 1;
             let boundary = self.current_day * webcache_trace::SECONDS_PER_DAY;
-            if let Some(target) =
-                self.policy
-                    .periodic_target(boundary, self.used, self.capacity)
+            if let Some(target) = self
+                .policy
+                .periodic_target(boundary, self.used, self.capacity)
             {
                 while self.used > target {
                     let Some(victim) = self.policy.victim(boundary, 0) else {
                         break;
                     };
-                    let meta = self.docs.remove(&victim).expect("victim not resident");
+                    let meta = self.docs.remove(victim).expect("victim not resident");
                     self.used -= meta.size;
                     self.policy.on_remove(victim);
                     self.stats.periodic_evictions += 1;
@@ -407,7 +434,7 @@ impl Cache {
     /// sum of resident sizes, within capacity, and the policy tracks
     /// exactly the resident set.
     pub fn check_invariants(&self) {
-        let sum: u64 = self.docs.values().map(|m| m.size).sum();
+        let sum: u64 = self.docs.iter().map(|m| m.size).sum();
         assert_eq!(sum, self.used, "used-bytes accounting drifted");
         assert!(self.used <= self.capacity, "cache exceeds capacity");
         assert_eq!(

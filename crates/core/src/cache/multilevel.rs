@@ -56,8 +56,7 @@ impl TwoLevelCache {
         let l1_outcome = self.l1.request(r);
         match l1_outcome {
             Outcome::Hit => LevelOutcome::L1Hit,
-            Outcome::Miss { evicted }
-            | Outcome::MissModified { evicted } => {
+            Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
                 let out = self.consult_l2(r);
                 self.push_down(&evicted, r);
                 out
@@ -276,7 +275,10 @@ mod tests {
         assert_eq!(s.group_count(), 2);
         // Client 0 (group 0) fetches a doc; client 1 (group 1) then finds
         // it in the shared L2 even though its own L1 missed.
-        assert_eq!(s.request_by_client(&req(0, 0, 7, 40)), LevelOutcome::BothMiss);
+        assert_eq!(
+            s.request_by_client(&req(0, 0, 7, 40)),
+            LevelOutcome::BothMiss
+        );
         assert_eq!(s.request_by_client(&req(1, 1, 7, 40)), LevelOutcome::L2Hit);
         assert_eq!(s.l2_counts_over_all_requests().hits, 1);
     }

@@ -35,13 +35,14 @@ pub struct PartitionedCache {
     total: Counts,
 }
 
+/// One partition specification: `(name, claimed types, capacity, policy)`.
+pub type PartitionSpec = (String, Vec<DocType>, u64, Box<dyn RemovalPolicy>);
+
 impl PartitionedCache {
     /// Build from `(name, types, capacity, policy)` tuples. Exactly one
     /// partition should have an empty type list: it is the catch-all that
     /// receives every type not claimed elsewhere.
-    pub fn new(
-        parts: Vec<(String, Vec<DocType>, u64, Box<dyn RemovalPolicy>)>,
-    ) -> PartitionedCache {
+    pub fn new(parts: Vec<PartitionSpec>) -> PartitionedCache {
         assert!(!parts.is_empty(), "need at least one partition");
         let catch_alls = parts.iter().filter(|(_, t, _, _)| t.is_empty()).count();
         assert_eq!(catch_alls, 1, "exactly one catch-all partition required");

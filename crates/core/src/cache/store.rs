@@ -1,0 +1,184 @@
+//! Document stores: the cache's resident-set container, pluggable so the
+//! dense slab used by the simulation engine can be checked against a plain
+//! hash map.
+//!
+//! [`UrlId`]s are dense small integers assigned by trace interning, so the
+//! natural container is a slab (`Vec<Option<DocMeta>>`) indexed by the id —
+//! one bounds check and a pointer offset per lookup instead of a hash and
+//! probe sequence. [`SlabStore`] is the default store;
+//! [`HashStore`] preserves the original `HashMap`-backed layout and exists
+//! so property tests can assert the two behave identically (DESIGN.md D8).
+
+use crate::cache::DocMeta;
+use webcache_trace::UrlId;
+
+/// The resident-document container behind a
+/// [`Cache`](crate::cache::Cache).
+///
+/// Implementations must behave like a map keyed by [`UrlId`]: at most one
+/// document per URL, `insert` replacing (and returning) any previous entry.
+pub trait DocStore: Default + Send {
+    /// Metadata of a resident document.
+    fn get(&self, url: UrlId) -> Option<&DocMeta>;
+
+    /// Mutable metadata of a resident document.
+    fn get_mut(&mut self, url: UrlId) -> Option<&mut DocMeta>;
+
+    /// Insert `meta` under its own URL, returning the displaced entry if
+    /// the URL was already resident.
+    fn insert(&mut self, meta: DocMeta) -> Option<DocMeta>;
+
+    /// Remove and return the document stored under `url`.
+    fn remove(&mut self, url: UrlId) -> Option<DocMeta>;
+
+    /// Number of resident documents.
+    fn len(&self) -> usize;
+
+    /// True when no documents are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is this URL resident?
+    fn contains(&self, url: UrlId) -> bool {
+        self.get(url).is_some()
+    }
+
+    /// Iterate over resident documents (order unspecified).
+    fn iter(&self) -> impl Iterator<Item = &DocMeta> + '_;
+}
+
+/// Dense slab keyed directly by the `UrlId` integer. Lookups are a bounds
+/// check and an index; memory is proportional to the highest URL id seen,
+/// which for interned trace ids equals the number of distinct URLs.
+#[derive(Debug, Default, Clone)]
+pub struct SlabStore {
+    slots: Vec<Option<DocMeta>>,
+    len: usize,
+}
+
+impl DocStore for SlabStore {
+    fn get(&self, url: UrlId) -> Option<&DocMeta> {
+        self.slots.get(url.0 as usize)?.as_ref()
+    }
+
+    fn get_mut(&mut self, url: UrlId) -> Option<&mut DocMeta> {
+        self.slots.get_mut(url.0 as usize)?.as_mut()
+    }
+
+    fn insert(&mut self, meta: DocMeta) -> Option<DocMeta> {
+        let i = meta.url.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        let old = self.slots[i].replace(meta);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, url: UrlId) -> Option<DocMeta> {
+        let old = self.slots.get_mut(url.0 as usize)?.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &DocMeta> + '_ {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+}
+
+/// The original `HashMap`-backed store. Kept as the reference
+/// implementation for equivalence tests and as the sensible choice when
+/// URL ids are sparse (e.g. a cache fed a filtered sub-trace).
+#[derive(Debug, Default, Clone)]
+pub struct HashStore {
+    docs: std::collections::HashMap<UrlId, DocMeta>,
+}
+
+impl DocStore for HashStore {
+    fn get(&self, url: UrlId) -> Option<&DocMeta> {
+        self.docs.get(&url)
+    }
+
+    fn get_mut(&mut self, url: UrlId) -> Option<&mut DocMeta> {
+        self.docs.get_mut(&url)
+    }
+
+    fn insert(&mut self, meta: DocMeta) -> Option<DocMeta> {
+        self.docs.insert(meta.url, meta)
+    }
+
+    fn remove(&mut self, url: UrlId) -> Option<DocMeta> {
+        self.docs.remove(&url)
+    }
+
+    fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &DocMeta> + '_ {
+        self.docs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcache_trace::DocType;
+
+    fn meta(url: u32, size: u64) -> DocMeta {
+        DocMeta {
+            url: UrlId(url),
+            size,
+            doc_type: DocType::Text,
+            entry_time: 0,
+            last_access: 0,
+            nrefs: 1,
+            expires: None,
+            refetch_latency_ms: 0,
+            type_priority: 0,
+            last_modified: None,
+        }
+    }
+
+    fn exercise<S: DocStore>(mut s: S) {
+        assert!(s.is_empty());
+        assert!(s.insert(meta(3, 10)).is_none());
+        assert!(s.insert(meta(0, 20)).is_none());
+        assert_eq!(s.len(), 2);
+        // Replacement returns the displaced entry.
+        let old = s.insert(meta(3, 30)).unwrap();
+        assert_eq!(old.size, 10);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(UrlId(3)).unwrap().size, 30);
+        s.get_mut(UrlId(0)).unwrap().nrefs = 7;
+        assert_eq!(s.get(UrlId(0)).unwrap().nrefs, 7);
+        assert!(s.contains(UrlId(0)));
+        assert!(!s.contains(UrlId(99)));
+        assert!(s.get(UrlId(99)).is_none());
+        let mut sizes: Vec<u64> = s.iter().map(|m| m.size).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![20, 30]);
+        assert_eq!(s.remove(UrlId(3)).unwrap().size, 30);
+        assert!(s.remove(UrlId(3)).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slab_store_map_semantics() {
+        exercise(SlabStore::default());
+    }
+
+    #[test]
+    fn hash_store_map_semantics() {
+        exercise(HashStore::default());
+    }
+}

@@ -14,7 +14,8 @@
 
 use crate::cache::DocMeta;
 use crate::policy::RemovalPolicy;
-use std::collections::{BTreeSet, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
 use webcache_trace::{Timestamp, UrlId};
 
 /// Cost model for GreedyDual-Size.
@@ -39,7 +40,7 @@ pub struct GreedyDualSize {
     inflation: u64,
     /// Docs ordered by ascending `H` (fixed point).
     order: BTreeSet<(u64, UrlId)>,
-    values: HashMap<UrlId, u64>,
+    values: FxHashMap<UrlId, u64>,
 }
 
 impl Default for GreedyDualSize {
@@ -60,7 +61,7 @@ impl GreedyDualSize {
             cost,
             inflation: 0,
             order: BTreeSet::new(),
-            values: HashMap::new(),
+            values: FxHashMap::default(),
         }
     }
 
@@ -176,8 +177,8 @@ mod tests {
     fn aging_lets_stale_small_docs_be_evicted() {
         let mut p = GreedyDualSize::new();
         p.on_insert(&meta(1, 10_000)); // small: H ≈ 104 above inflation
-        // Cycle many large docs through; inflation climbs past the tiny
-        // doc's H, so it eventually becomes the victim.
+                                       // Cycle many large docs through; inflation climbs past the tiny
+                                       // doc's H, so it eventually becomes the victim.
         let mut evicted_tiny = false;
         for i in 2..2000u32 {
             p.on_insert(&meta(i, 1_000_000));

@@ -315,10 +315,8 @@ mod tests {
     fn all36_has_36_distinct_combinations() {
         let combos = KeySpec::all36(1);
         assert_eq!(combos.len(), 36);
-        let set: std::collections::HashSet<(Key, Key)> = combos
-            .iter()
-            .map(|c| (c.primary, c.secondary))
-            .collect();
+        let set: std::collections::HashSet<(Key, Key)> =
+            combos.iter().map(|c| (c.primary, c.secondary)).collect();
         assert_eq!(set.len(), 36);
         // No combination has equal primary and secondary Table 1 keys.
         assert!(combos.iter().all(|c| c.primary != c.secondary));

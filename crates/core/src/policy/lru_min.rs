@@ -21,7 +21,8 @@
 
 use crate::cache::DocMeta;
 use crate::policy::RemovalPolicy;
-use std::collections::{BTreeSet, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
 use webcache_trace::{Timestamp, UrlId};
 
 const BUCKETS: usize = 64;
@@ -32,7 +33,7 @@ pub struct LruMin {
     /// `buckets[b]` holds `(atime, url)` for docs with `⌊log₂ size⌋ == b`.
     buckets: Vec<BTreeSet<(Timestamp, UrlId)>>,
     /// Per-document `(atime, size)` so updates can locate bucket entries.
-    docs: HashMap<UrlId, (Timestamp, u64)>,
+    docs: FxHashMap<UrlId, (Timestamp, u64)>,
 }
 
 impl LruMin {
@@ -40,7 +41,7 @@ impl LruMin {
     pub fn new() -> LruMin {
         LruMin {
             buckets: vec![BTreeSet::new(); BUCKETS],
-            docs: HashMap::new(),
+            docs: FxHashMap::default(),
         }
     }
 
@@ -65,7 +66,7 @@ impl LruMin {
         // Larger buckets qualify entirely: their first element is their LRU.
         for bucket in &self.buckets[start + 1..] {
             if let Some(&(atime, url)) = bucket.first() {
-                if best.map_or(true, |(t, _)| atime < t) {
+                if best.is_none_or(|(t, _)| atime < t) {
                     best = Some((atime, url));
                 }
             }
@@ -80,7 +81,9 @@ impl RemovalPolicy for LruMin {
     }
 
     fn on_insert(&mut self, meta: &DocMeta) {
-        if let Some((old_atime, old_size)) = self.docs.insert(meta.url, (meta.last_access, meta.size)) {
+        if let Some((old_atime, old_size)) =
+            self.docs.insert(meta.url, (meta.last_access, meta.size))
+        {
             self.buckets[Self::bucket_of(old_size)].remove(&(old_atime, meta.url));
         }
         self.buckets[Self::bucket_of(meta.size)].insert((meta.last_access, meta.url));
@@ -150,8 +153,8 @@ mod tests {
         p.on_insert(&meta(1, 100, 5)); // big, fresher
         p.on_insert(&meta(2, 100, 1)); // big, stalest
         p.on_insert(&meta(3, 10, 0)); // small but stalest overall
-        // Incoming 80 bytes: only the 100-byte docs qualify at the first
-        // threshold; LRU among them is url 2 — NOT the globally stale url 3.
+                                      // Incoming 80 bytes: only the 100-byte docs qualify at the first
+                                      // threshold; LRU among them is url 2 — NOT the globally stale url 3.
         assert_eq!(p.victim(10, 80), Some(UrlId(2)));
     }
 

@@ -73,11 +73,18 @@ pub trait RemovalPolicy: Send {
     /// Position of a document in the current removal order (0 = next
     /// victim), when the policy maintains an inspectable order. Used by
     /// the Appendix A instrumentation ("location in sorted list of each
-    /// URL hit"); `None` when unknown or untracked. O(n) is acceptable —
-    /// this is instrumentation, not the hot path.
+    /// URL hit"); `None` when unknown or untracked. May be O(n) unless
+    /// [`RemovalPolicy::enable_position_tracking`] was called.
     fn removal_position(&self, _url: UrlId) -> Option<usize> {
         None
     }
+
+    /// Opt in to whatever auxiliary bookkeeping makes
+    /// [`RemovalPolicy::removal_position`] sublinear. Callers that query
+    /// positions on every request (the Appendix A instrumentation) invoke
+    /// this once up front; everyone else skips it so the hot path carries
+    /// no extra index maintenance. The default is a no-op.
+    fn enable_position_tracking(&mut self) {}
 
     /// Periodic-removal hook, called by the cache at each simulated day
     /// boundary. Returning `Some(target)` makes the cache evict victims

@@ -56,7 +56,10 @@ pub fn size() -> SortedPolicy {
 /// ⌊log₂(SIZE)⌋ with LRU tie-break: the paper's approximation of the value
 /// of combining size and recency (its stand-in for LRU-MIN's spirit).
 pub fn log2size_lru() -> SortedPolicy {
-    SortedPolicy::named(KeySpec::pair(Key::Log2Size, Key::AccessTime), "LOG2SIZE-LRU")
+    SortedPolicy::named(
+        KeySpec::pair(Key::Log2Size, Key::AccessTime),
+        "LOG2SIZE-LRU",
+    )
 }
 
 /// Every named policy this crate implements, constructed fresh. Useful for
@@ -194,8 +197,7 @@ mod tests {
     #[test]
     fn all_named_constructs_distinct_policies() {
         let all = all_named();
-        let names: std::collections::HashSet<String> =
-            all.iter().map(|p| p.name()).collect();
+        let names: std::collections::HashSet<String> = all.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), all.len());
     }
 }

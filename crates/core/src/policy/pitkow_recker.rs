@@ -17,7 +17,8 @@
 use crate::cache::DocMeta;
 use crate::policy::key::splitmix64;
 use crate::policy::RemovalPolicy;
-use std::collections::{BTreeSet, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
 use webcache_trace::{day_of, Timestamp, UrlId};
 
 /// The exact Pitkow/Recker removal policy.
@@ -28,7 +29,7 @@ pub struct PitkowRecker {
     /// Docs ordered by descending size (stored as `u64::MAX - size`).
     by_size: BTreeSet<(u64, u64, UrlId)>,
     /// Per-doc `(day, size)` for entry lookup.
-    docs: HashMap<UrlId, (u64, u64)>,
+    docs: FxHashMap<UrlId, (u64, u64)>,
     /// Fraction of capacity that may remain *used* after the end-of-day
     /// purge (the "comfort level"). `None` disables periodic removal, which
     /// reduces the policy to its on-demand half.
@@ -50,12 +51,15 @@ impl PitkowRecker {
     /// only); `salt` seeds random tie-breaking.
     pub fn new(comfort_used_fraction: Option<f64>, salt: u64) -> PitkowRecker {
         if let Some(f) = comfort_used_fraction {
-            assert!((0.0..=1.0).contains(&f), "comfort fraction must be in [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "comfort fraction must be in [0,1]"
+            );
         }
         PitkowRecker {
             by_day: BTreeSet::new(),
             by_size: BTreeSet::new(),
-            docs: HashMap::new(),
+            docs: FxHashMap::default(),
             comfort_used_fraction,
             salt,
         }
@@ -152,7 +156,7 @@ mod tests {
         p.on_insert(&meta(1, 10, 3 * SECONDS_PER_DAY)); // 2 days stale
         p.on_insert(&meta(2, 10, 4 * SECONDS_PER_DAY)); // 1 day stale
         p.on_insert(&meta(3, 10_000, today)); // today, huge
-        // DAY(ATIME) branch: most-days-ago first, despite the huge doc.
+                                              // DAY(ATIME) branch: most-days-ago first, despite the huge doc.
         assert_eq!(p.victim(today, 0), Some(UrlId(1)));
     }
 

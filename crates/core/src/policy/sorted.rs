@@ -4,19 +4,147 @@
 //! [`KeySpec`] rank triple, exactly as the paper describes: "the class of
 //! removal policies in §1.2 maintains a sorted list. If the list is kept
 //! sorted as the proxy operates, then the removal policy merely removes the
-//! head of the list" (section 1.3). The structure here is a `BTreeSet`
-//! keyed by `(rank, url)`, so head removal is `O(log n)` and rank updates
-//! on access are delete+insert. DESIGN.md decision D1; the alternative
-//! (re-sorting on demand) is measured by the `eviction_ablation` bench.
+//! head of the list" (section 1.3). The structure here is a min-heap over
+//! `(rank, url)` with *lazy deletion*: a rank update pushes the new entry
+//! and leaves the old one in place, and victim selection pops entries whose
+//! rank no longer matches the [`RankSlab`] ground truth. Head selection is
+//! therefore amortised `O(log n)` with array (not pointer-chasing)
+//! constants, and picks exactly the entry a fully-sorted list would — the
+//! smallest live `(rank, url)`. DESIGN.md decisions D1 and D8; the
+//! alternatives (re-sorting on demand, `BTreeSet` ordering) are measured by
+//! the `ablation` bench and the `sweep` binary.
 
 use crate::cache::DocMeta;
 use crate::policy::key::KeySpec;
 use crate::policy::RemovalPolicy;
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use webcache_trace::{Timestamp, UrlId};
 
 /// Rank triple plus URL id: a total order over cached documents.
 type Entry = ((i64, i64, i64), UrlId);
+
+/// Current rank of each resident URL, stored as a dense slab indexed by
+/// the interned `UrlId` — the policy-side counterpart of the cache's
+/// `SlabStore`. Rank lookup happens on every access of a rank-sensitive
+/// policy, so it sits squarely on the sweep hot path; a slab makes it one
+/// bounds check instead of a hash-and-probe.
+#[derive(Debug, Clone, Default)]
+struct RankSlab {
+    slots: Vec<Option<(i64, i64, i64)>>,
+}
+
+impl RankSlab {
+    fn get(&self, url: UrlId) -> Option<(i64, i64, i64)> {
+        *self.slots.get(url.0 as usize)?
+    }
+
+    fn insert(&mut self, url: UrlId, rank: (i64, i64, i64)) -> Option<(i64, i64, i64)> {
+        let i = url.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i].replace(rank)
+    }
+
+    fn remove(&mut self, url: UrlId) -> Option<(i64, i64, i64)> {
+        self.slots.get_mut(url.0 as usize)?.take()
+    }
+
+    /// All live `(rank, url)` entries, in slab (not rank) order.
+    fn entries(&self) -> impl Iterator<Item = Entry> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.map(|rank| (rank, UrlId(i as u32))))
+    }
+}
+
+/// Bucket split threshold for [`PositionIndex`]: a bucket reaching this
+/// size is halved. Buckets therefore hold ~64–256 entries, giving O(√n)
+/// scan cost for position queries at the resident-set sizes the paper's
+/// workloads produce.
+const BUCKET_SPLIT: usize = 256;
+
+/// Order-statistic side index: the same entries as `SortedPolicy::order`,
+/// held as a sorted list of sorted buckets (sqrt-decomposition). A
+/// position query walks whole buckets until the target's bucket, then
+/// binary-searches inside it — O(√n) instead of the O(n)
+/// `order.range(..).count()` the `BTreeSet` forces (std's B-tree exposes
+/// no subtree counts). Maintained only when position tracking is enabled,
+/// since insert/remove in a bucket are O(bucket) memmoves the plain
+/// eviction path shouldn't pay.
+#[derive(Debug, Clone, Default)]
+struct PositionIndex {
+    buckets: Vec<Vec<Entry>>,
+}
+
+impl PositionIndex {
+    /// Build from entries already in ascending order.
+    fn from_sorted(entries: impl Iterator<Item = Entry>) -> PositionIndex {
+        let mut buckets = Vec::new();
+        let mut cur: Vec<Entry> = Vec::with_capacity(BUCKET_SPLIT / 2);
+        for e in entries {
+            cur.push(e);
+            if cur.len() >= BUCKET_SPLIT / 2 {
+                buckets.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            buckets.push(cur);
+        }
+        PositionIndex { buckets }
+    }
+
+    /// Index of the bucket that does (or should) contain `e`.
+    fn bucket_for(&self, e: &Entry) -> usize {
+        let i = self
+            .buckets
+            .partition_point(|b| b.last().is_some_and(|last| last < e));
+        i.min(self.buckets.len().saturating_sub(1))
+    }
+
+    fn insert(&mut self, e: Entry) {
+        if self.buckets.is_empty() {
+            self.buckets.push(vec![e]);
+            return;
+        }
+        let bi = self.bucket_for(&e);
+        let b = &mut self.buckets[bi];
+        let pos = b.partition_point(|x| x < &e);
+        b.insert(pos, e);
+        if b.len() >= BUCKET_SPLIT {
+            let tail = b.split_off(b.len() / 2);
+            self.buckets.insert(bi + 1, tail);
+        }
+    }
+
+    fn remove(&mut self, e: &Entry) {
+        if self.buckets.is_empty() {
+            return;
+        }
+        let bi = self.bucket_for(e);
+        if let Ok(pos) = self.buckets[bi].binary_search(e) {
+            self.buckets[bi].remove(pos);
+            if self.buckets[bi].is_empty() {
+                self.buckets.remove(bi);
+            }
+        }
+    }
+
+    /// Number of entries strictly before `e` in the total order.
+    fn position(&self, e: &Entry) -> usize {
+        let mut acc = 0;
+        for b in &self.buckets {
+            if b.last().is_some_and(|last| last < e) {
+                acc += b.len();
+            } else {
+                return acc + b.partition_point(|x| x < e);
+            }
+        }
+        acc
+    }
+}
 
 /// A removal policy defined by a [`KeySpec`] (primary, secondary, tertiary
 /// key), per the paper's taxonomy. 36 combinations of Table 1 keys —
@@ -24,8 +152,15 @@ type Entry = ((i64, i64, i64), UrlId);
 #[derive(Debug, Clone)]
 pub struct SortedPolicy {
     spec: KeySpec,
-    order: BTreeSet<Entry>,
-    ranks: HashMap<UrlId, (i64, i64, i64)>,
+    /// Min-heap over `(rank, url)` with lazy deletion: entries whose rank
+    /// disagrees with `ranks` are stale and get popped during
+    /// [`victim`](RemovalPolicy::victim). `ranks` is the ground truth for
+    /// residency and rank; the heap only orders it.
+    heap: BinaryHeap<Reverse<Entry>>,
+    ranks: RankSlab,
+    /// Live entry count (the heap length includes stale entries).
+    live: usize,
+    positions: Option<PositionIndex>,
     name_override: Option<&'static str>,
 }
 
@@ -34,8 +169,10 @@ impl SortedPolicy {
     pub fn new(spec: KeySpec) -> SortedPolicy {
         SortedPolicy {
             spec,
-            order: BTreeSet::new(),
-            ranks: HashMap::new(),
+            heap: BinaryHeap::new(),
+            ranks: RankSlab::default(),
+            live: 0,
+            positions: None,
             name_override: None,
         }
     }
@@ -56,15 +193,28 @@ impl SortedPolicy {
     /// The documents in removal order (head first). Exposed for tests and
     /// for reproducing Table 2's sorted lists.
     pub fn sorted_urls(&self) -> Vec<UrlId> {
-        self.order.iter().map(|&(_, url)| url).collect()
+        let mut live: Vec<Entry> = self.ranks.entries().collect();
+        live.sort_unstable();
+        live.into_iter().map(|(_, url)| url).collect()
     }
 
     fn upsert(&mut self, meta: &DocMeta) {
         let rank = self.spec.rank(meta);
-        if let Some(old) = self.ranks.insert(meta.url, rank) {
-            self.order.remove(&(old, meta.url));
+        match self.ranks.insert(meta.url, rank) {
+            // Rank unchanged: the heap entry is still live, nothing to do.
+            Some(old) if old == rank => return,
+            Some(old) => {
+                // Old entry goes stale in the heap; victim() will skip it.
+                if let Some(idx) = &mut self.positions {
+                    idx.remove(&(old, meta.url));
+                }
+            }
+            None => self.live += 1,
         }
-        self.order.insert((rank, meta.url));
+        self.heap.push(Reverse((rank, meta.url)));
+        if let Some(idx) = &mut self.positions {
+            idx.insert((rank, meta.url));
+        }
     }
 }
 
@@ -88,22 +238,49 @@ impl RemovalPolicy for SortedPolicy {
     }
 
     fn on_remove(&mut self, url: UrlId) {
-        if let Some(rank) = self.ranks.remove(&url) {
-            self.order.remove(&(rank, url));
+        if let Some(rank) = self.ranks.remove(url) {
+            // The heap entry goes stale; victim() pops it lazily.
+            self.live -= 1;
+            if let Some(idx) = &mut self.positions {
+                idx.remove(&(rank, url));
+            }
         }
     }
 
     fn victim(&mut self, _now: Timestamp, _incoming_size: u64) -> Option<UrlId> {
-        self.order.first().map(|&(_, url)| url)
+        // Pop stale entries (removed documents or superseded ranks) until
+        // the head agrees with the slab — that head is the smallest live
+        // `(rank, url)`, exactly what a fully-sorted list would remove.
+        while let Some(&Reverse((rank, url))) = self.heap.peek() {
+            if self.ranks.get(url) == Some(rank) {
+                return Some(url);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
     fn len(&self) -> usize {
-        self.order.len()
+        self.live
     }
 
     fn removal_position(&self, url: UrlId) -> Option<usize> {
-        let rank = *self.ranks.get(&url)?;
-        Some(self.order.range(..(rank, url)).count())
+        let rank = self.ranks.get(url)?;
+        match &self.positions {
+            Some(idx) => Some(idx.position(&(rank, url))),
+            // Untracked fallback: a linear scan of the live entries. Fine
+            // for one-off test queries; per-request callers must call
+            // `enable_position_tracking` first.
+            None => Some(self.ranks.entries().filter(|e| *e < (rank, url)).count()),
+        }
+    }
+
+    fn enable_position_tracking(&mut self) {
+        if self.positions.is_none() {
+            let mut live: Vec<Entry> = self.ranks.entries().collect();
+            live.sort_unstable();
+            self.positions = Some(PositionIndex::from_sorted(live.into_iter()));
+        }
     }
 }
 
@@ -196,6 +373,52 @@ mod tests {
         };
         assert_eq!(mk(1), mk(1));
         assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn tracked_positions_match_linear_scan_under_churn() {
+        // Enough entries to force several PositionIndex bucket splits,
+        // with accesses (re-ranks) and removals mixed in; the O(√n) index
+        // must agree with the untracked O(n) walk at every URL.
+        let mut tracked = SortedPolicy::new(KeySpec::pair(Key::Size, Key::AccessTime));
+        let mut plain = SortedPolicy::new(KeySpec::pair(Key::Size, Key::AccessTime));
+        tracked.enable_position_tracking();
+        for i in 0..600u32 {
+            let m = meta(i, (i as u64 * 37) % 500 + 1, i as u64, i as u64, 1);
+            tracked.on_insert(&m);
+            plain.on_insert(&m);
+        }
+        for i in (0..600u32).step_by(3) {
+            let m = meta(i, (i as u64 * 37) % 500 + 1, i as u64, 1_000 + i as u64, 2);
+            tracked.on_access(&m);
+            plain.on_access(&m);
+        }
+        for i in (0..600).step_by(7) {
+            tracked.on_remove(UrlId(i));
+            plain.on_remove(UrlId(i));
+        }
+        assert_eq!(tracked.len(), plain.len());
+        for i in 0..600 {
+            assert_eq!(
+                tracked.removal_position(UrlId(i)),
+                plain.removal_position(UrlId(i)),
+                "position diverges at url {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn enabling_tracking_midstream_snapshots_existing_entries() {
+        let mut p = SortedPolicy::new(KeySpec::primary(Key::Size));
+        for i in 0..50u32 {
+            p.on_insert(&meta(i, 1 + i as u64, 0, 0, 1));
+        }
+        p.enable_position_tracking();
+        // SIZE removes largest-first, so the biggest document (url 49)
+        // heads the order.
+        for i in 0..50 {
+            assert_eq!(p.removal_position(UrlId(i)), Some(49 - i as usize));
+        }
     }
 
     #[test]

@@ -48,8 +48,7 @@ impl InstrumentReport {
     /// Fraction of hits found within the first `k` removal-order
     /// positions — how close to eviction the useful documents were.
     pub fn hits_within_position(&self, k: usize) -> f64 {
-        let total: u64 =
-            self.hit_position_log2.iter().sum::<u64>() + self.hit_position_unknown;
+        let total: u64 = self.hit_position_log2.iter().sum::<u64>() + self.hit_position_unknown;
         if total == 0 {
             return 0.0;
         }
@@ -80,8 +79,10 @@ pub struct InstrumentedCache {
 
 impl InstrumentedCache {
     /// Wrap `cache`, sampling sizes and counters every `sample_every`
-    /// requests.
-    pub fn new(cache: Cache, sample_every: u64) -> InstrumentedCache {
+    /// requests. Position tracking is switched on so the per-request
+    /// removal-order lookup below is sublinear rather than a full scan.
+    pub fn new(mut cache: Cache, sample_every: u64) -> InstrumentedCache {
+        cache.enable_position_tracking();
         InstrumentedCache {
             cache,
             report: InstrumentReport {
@@ -101,16 +102,12 @@ impl InstrumentedCache {
         // Position must be read *before* the access reorders the policy.
         let position = self.cache.removal_position(r.url);
         let out = self.cache.request(r);
-        let acc = self
-            .report
-            .url_access
-            .entry(r.url)
-            .or_insert(UrlAccess {
-                nrefs: 0,
-                first_access: r.time,
-                last_access: r.time,
-                hits: 0,
-            });
+        let acc = self.report.url_access.entry(r.url).or_insert(UrlAccess {
+            nrefs: 0,
+            first_access: r.time,
+            last_access: r.time,
+            hits: 0,
+        });
         acc.nrefs += 1;
         acc.last_access = r.time;
         if out.is_hit() {
@@ -124,7 +121,7 @@ impl InstrumentedCache {
             }
         }
         self.seen += 1;
-        if self.seen % self.sample_every == 0 {
+        if self.seen.is_multiple_of(self.sample_every) {
             self.report.size_samples.push((r.time, self.cache.used()));
             self.report.interval_counts.push(self.cache.counts());
         }

@@ -9,10 +9,13 @@
 //! streams for a hierarchy; per-partition streams for a partitioned cache).
 
 pub mod instrument;
+pub mod multi;
+
+pub use multi::{LaneSpec, MultiSim};
 
 use crate::cache::multilevel::{SharedL2, TwoLevelCache};
 use crate::cache::partitioned::PartitionedCache;
-use crate::cache::{Cache, Counts};
+use crate::cache::{Cache, Counts, DocStore};
 use crate::policy::{NeverEvict, RemovalPolicy};
 use serde::{Deserialize, Serialize};
 use webcache_trace::{Request, Trace};
@@ -31,7 +34,7 @@ pub trait CacheSystem {
     fn gauges(&self) -> Vec<(String, u64)>;
 }
 
-impl CacheSystem for Cache {
+impl<S: DocStore> CacheSystem for Cache<S> {
     fn handle(&mut self, r: &Request) {
         let _ = self.request(r);
     }
@@ -169,10 +172,7 @@ impl SimResult {
 
     /// A gauge by name.
     pub fn gauge(&self, name: &str) -> Option<u64> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 }
 
@@ -222,11 +222,7 @@ pub fn max_needed(trace: &Trace) -> u64 {
 }
 
 /// Simulate a finite single-level cache under the given policy.
-pub fn simulate_policy(
-    trace: &Trace,
-    capacity: u64,
-    policy: Box<dyn RemovalPolicy>,
-) -> SimResult {
+pub fn simulate_policy(trace: &Trace, capacity: u64, policy: Box<dyn RemovalPolicy>) -> SimResult {
     let label = policy.name();
     let mut cache = Cache::new(capacity, policy);
     simulate(trace, &mut cache, &label)

@@ -1,0 +1,293 @@
+//! [`MultiSim`]: the single-pass multi-policy simulation engine.
+//!
+//! A policy sweep (Experiment 2 runs 36 policies per workload) used to
+//! hand-roll a [`simulate_policy`](crate::sim::simulate_policy) loop per
+//! caller, re-implementing day-boundary bookkeeping and per-day stream
+//! snapshots each time. `MultiSim` drives N independent [`Cache`] *lanes*
+//! over one shared borrowed [`&Trace`](Trace) behind a single API: lanes
+//! are split into contiguous chunks across threads (`par_chunks_mut`),
+//! and within a chunk they are driven in blocks of [`LANE_BLOCK`] lanes
+//! per day-ordered trace pass, with each block's caches materialised only
+//! while the block runs (both bounds chosen empirically — see DESIGN.md
+//! D8 and `BENCH_sweep.json`: interleaving many resident sets, or keeping
+//! them all allocated at once, costs far more than re-iterating the
+//! borrowed trace).
+//!
+//! Because lanes never share mutable state and chunking is contiguous,
+//! the output is **bit-identical to running [`simulate_policy`] serially
+//! per policy** — the determinism tests in `webcache-experiments` assert
+//! exactly this, stream by stream and gauge by gauge.
+//!
+//! [`simulate_policy`]: crate::sim::simulate_policy
+
+use crate::cache::{Cache, Counts, MetaDecorator, Outcome};
+use crate::policy::RemovalPolicy;
+use crate::sim::{CacheSystem, SimResult, StreamResult};
+use rayon::prelude::*;
+use webcache_trace::{Request, Trace};
+
+/// One simulation lane: a policy plus optional per-lane configuration.
+pub struct LaneSpec {
+    /// Caller's label for this lane, returned alongside its result (it
+    /// need not match the policy's display name).
+    pub label: String,
+    /// The removal policy driving this lane's cache.
+    pub policy: Box<dyn RemovalPolicy>,
+    /// Optional metadata decorator (Experiment 5 attaches latency/expiry
+    /// models here).
+    pub decorator: Option<MetaDecorator>,
+}
+
+impl LaneSpec {
+    /// A plain lane with no decorator.
+    pub fn new(label: impl Into<String>, policy: Box<dyn RemovalPolicy>) -> LaneSpec {
+        LaneSpec {
+            label: label.into(),
+            policy,
+            decorator: None,
+        }
+    }
+
+    /// Attach a metadata decorator to this lane's cache.
+    pub fn with_decorator(mut self, d: MetaDecorator) -> LaneSpec {
+        self.decorator = Some(d);
+        self
+    }
+}
+
+/// A lane mid-flight: its pending policy, per-day snapshot state, and the
+/// result fields filled in once its block has been driven. The cache
+/// itself lives only while the lane's block is running — keeping all N
+/// caches alive at once measurably thrashes the allocator and TLB, whereas
+/// per-block caches reuse the same hot pages.
+struct Lane<O> {
+    label: String,
+    policy: Option<Box<dyn RemovalPolicy>>,
+    decorator: Option<MetaDecorator>,
+    observer: O,
+    prev: Counts,
+    daily: Vec<Counts>,
+    system: String,
+    total: Counts,
+    gauges: Vec<(String, u64)>,
+}
+
+/// The single-pass engine. Construct with a shared trace and a per-lane
+/// capacity, then [`run`](MultiSim::run) a set of policies.
+pub struct MultiSim<'t> {
+    trace: &'t Trace,
+    capacity: u64,
+}
+
+impl<'t> MultiSim<'t> {
+    /// An engine over `trace` giving every lane `capacity` bytes.
+    pub fn new(trace: &'t Trace, capacity: u64) -> MultiSim<'t> {
+        MultiSim { trace, capacity }
+    }
+
+    /// Simulate every `(label, policy)` lane in one pass. Output order
+    /// matches input order, and each [`SimResult`] is identical to what
+    /// `simulate_policy(trace, capacity, policy)` returns for that policy.
+    pub fn run(&self, policies: Vec<(String, Box<dyn RemovalPolicy>)>) -> Vec<(String, SimResult)> {
+        let lanes = policies
+            .into_iter()
+            .map(|(label, policy)| LaneSpec::new(label, policy))
+            .collect();
+        self.run_observed(lanes, || (), |_, _, _| ())
+            .into_iter()
+            .map(|(label, result, ())| (label, result))
+            .collect()
+    }
+
+    /// Like [`run`](MultiSim::run), but every lane also feeds each
+    /// `(request, outcome)` pair into a per-lane observer state built by
+    /// `init` — how Experiment 5 computes text-only hit rates and latency
+    /// totals without a second pass.
+    pub fn run_observed<O, F>(
+        &self,
+        specs: Vec<LaneSpec>,
+        init: impl Fn() -> O,
+        observe: F,
+    ) -> Vec<(String, SimResult, O)>
+    where
+        O: Send,
+        F: Fn(&mut O, &Request, &Outcome) + Sync,
+    {
+        let mut lanes: Vec<Lane<O>> = specs
+            .into_iter()
+            .map(|spec| Lane {
+                label: spec.label,
+                policy: Some(spec.policy),
+                decorator: spec.decorator,
+                observer: init(),
+                prev: Counts::default(),
+                daily: Vec::new(),
+                system: String::new(),
+                total: Counts::default(),
+                gauges: Vec::new(),
+            })
+            .collect();
+
+        if !lanes.is_empty() {
+            let chunk = lanes.len().div_ceil(rayon::current_num_threads().max(1));
+            let trace = self.trace;
+            let capacity = self.capacity;
+            lanes
+                .par_chunks_mut(chunk)
+                .for_each(|chunk| drive_chunk(trace, capacity, chunk, &observe));
+        }
+
+        lanes
+            .into_iter()
+            .map(|lane| {
+                let result = SimResult {
+                    workload: self.trace.name.clone(),
+                    system: lane.system,
+                    streams: vec![StreamResult {
+                        name: "cache".to_string(),
+                        daily: lane.daily,
+                        total: lane.total,
+                    }],
+                    gauges: lane.gauges,
+                };
+                (lane.label, result, lane.observer)
+            })
+            .collect()
+    }
+}
+
+/// How many lanes share one day-ordered trace pass. Day-interleaving many
+/// lanes amortises trace iteration, but every lane switch touches a cold
+/// cache/policy working set; with tens of lanes the combined state blows
+/// the LLC and the sweep runs slower than serial passes (measured in
+/// BENCH_sweep.json's predecessor runs). Trace iteration is cheap compared
+/// to per-request policy work, so the block is kept small.
+const LANE_BLOCK: usize = 1;
+
+/// Drive every lane of one chunk through the whole trace in blocks of
+/// [`LANE_BLOCK`]: the day loop runs once per block, each day's request
+/// slice is replayed into each lane of the block, and the per-day counter
+/// delta is snapshotted exactly as `simulate()` does. Caches are built at
+/// block start and dropped at block end, so at most `LANE_BLOCK` resident
+/// sets are live per thread at any moment.
+fn drive_chunk<O, F>(trace: &Trace, capacity: u64, lanes: &mut [Lane<O>], observe: &F)
+where
+    F: Fn(&mut O, &Request, &Outcome) + Sync,
+{
+    for block in lanes.chunks_mut(LANE_BLOCK) {
+        let mut caches: Vec<Cache> = block
+            .iter_mut()
+            .map(|lane| {
+                let mut cache =
+                    Cache::new(capacity, lane.policy.take().expect("lane driven twice"));
+                if let Some(d) = lane.decorator.take() {
+                    cache = cache.with_decorator(d);
+                }
+                cache
+            })
+            .collect();
+        for (_day, requests) in trace.days() {
+            for (lane, cache) in block.iter_mut().zip(&mut caches) {
+                for r in requests {
+                    let out = cache.request(r);
+                    observe(&mut lane.observer, r, &out);
+                }
+                let counts = cache.counts();
+                lane.daily.push(counts.delta(&lane.prev));
+                lane.prev = counts;
+            }
+        }
+        for (lane, cache) in block.iter_mut().zip(caches) {
+            lane.system = cache.policy_name();
+            lane.total = cache.counts();
+            lane.gauges = cache.gauges();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::named;
+    use crate::sim::simulate_policy;
+    use webcache_trace::RawRequest;
+
+    fn trace() -> Trace {
+        let day = webcache_trace::SECONDS_PER_DAY;
+        let raws: Vec<RawRequest> = (0..400u64)
+            .map(|i| RawRequest {
+                time: i * day / 80,
+                client: "c".into(),
+                url: format!("http://s/{}.html", (i * 7) % 23),
+                status: 200,
+                size: 100 + (i % 11) * 150,
+                last_modified: None,
+            })
+            .collect();
+        Trace::from_raw("T", &raws)
+    }
+
+    fn assert_same(a: &SimResult, b: &SimResult) {
+        assert_eq!(a.system, b.system);
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.gauges, b.gauges);
+        assert_eq!(a.streams.len(), b.streams.len());
+        for (sa, sb) in a.streams.iter().zip(&b.streams) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.total, sb.total);
+            assert_eq!(sa.daily, sb.daily);
+        }
+    }
+
+    #[test]
+    fn lanes_match_serial_simulate_policy() {
+        let t = trace();
+        let cap = 2_000;
+        let out = MultiSim::new(&t, cap).run(vec![
+            ("SIZE".into(), Box::new(named::size())),
+            ("LRU".into(), Box::new(named::lru())),
+            ("FIFO".into(), Box::new(named::fifo())),
+        ]);
+        assert_eq!(out.len(), 3);
+        for ((label, got), make) in out.iter().zip([
+            &|| Box::new(named::size()) as Box<dyn RemovalPolicy>,
+            &|| Box::new(named::lru()) as Box<dyn RemovalPolicy>,
+            &|| Box::new(named::fifo()) as Box<dyn RemovalPolicy>,
+        ]
+            as [&dyn Fn() -> Box<dyn RemovalPolicy>; 3])
+        {
+            let want = simulate_policy(&t, cap, make());
+            assert_eq!(label, &want.system);
+            assert_same(got, &want);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_request_once_per_lane() {
+        let t = trace();
+        let out = MultiSim::new(&t, 5_000).run_observed(
+            vec![
+                LaneSpec::new("a", Box::new(named::lru())),
+                LaneSpec::new("b", Box::new(named::size())),
+            ],
+            || (0u64, 0u64),
+            |acc, r, out| {
+                acc.0 += 1;
+                if out.is_hit() {
+                    acc.1 += r.size;
+                }
+            },
+        );
+        for (_, result, (seen, hit_bytes)) in &out {
+            let total = result.stream("cache").unwrap().total;
+            assert_eq!(*seen, total.requests);
+            assert_eq!(*hit_bytes, total.bytes_hit);
+        }
+    }
+
+    #[test]
+    fn empty_lane_set_is_fine() {
+        let t = trace();
+        assert!(MultiSim::new(&t, 1_000).run(Vec::new()).is_empty());
+    }
+}

@@ -52,7 +52,10 @@ fn latency_key_prefers_keeping_expensive_documents() {
     }
     let mut cache = Cache::new(
         9_000,
-        Box::new(SortedPolicy::new(KeySpec::pair(Key::Latency, Key::AccessTime))),
+        Box::new(SortedPolicy::new(KeySpec::pair(
+            Key::Latency,
+            Key::AccessTime,
+        ))),
     )
     .with_decorator(latency_model);
     cache.request(&req(0, 0, 4_000, DocType::Text)); // server 0: slow
@@ -73,13 +76,16 @@ fn latency_key_prefers_keeping_expensive_documents() {
 fn expiry_key_removes_expired_documents_first() {
     fn ttl(r: &Request, m: &mut DocMeta) {
         // Even URLs get a short TTL, odd URLs never expire.
-        if r.url.0 % 2 == 0 {
+        if r.url.0.is_multiple_of(2) {
             m.expires = Some(m.entry_time + 10);
         }
     }
     let mut cache = Cache::new(
         9_000,
-        Box::new(SortedPolicy::new(KeySpec::pair(Key::Expiry, Key::AccessTime))),
+        Box::new(SortedPolicy::new(KeySpec::pair(
+            Key::Expiry,
+            Key::AccessTime,
+        ))),
     )
     .with_decorator(ttl);
     cache.request(&req(0, 2, 4_000, DocType::Text)); // expires t=10

@@ -1,0 +1,56 @@
+//! Property: the dense [`SlabStore`] and the reference [`HashStore`] are
+//! observably identical document stores. A cache backed by either must
+//! produce the same outcome — hit, miss, modified-miss, too-big — with the
+//! same eviction lists, for any request sequence, under both an
+//! access-insensitive (SIZE) and an access-sensitive (LRU) policy.
+
+use proptest::prelude::*;
+use webcache_core::cache::{Cache, HashStore, SlabStore};
+use webcache_core::policy::{Key, KeySpec, SortedPolicy};
+use webcache_trace::{RawRequest, Trace};
+
+/// Build a trace from (url, size) pairs, one request per second so
+/// sequences span day boundaries when long enough.
+fn trace_of(reqs: &[(u32, u64)]) -> Trace {
+    let raws: Vec<RawRequest> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, &(url, size))| RawRequest {
+            time: i as u64 * 1_733,
+            client: "c".into(),
+            url: format!("http://server/doc{url}"),
+            status: 200,
+            size,
+            last_modified: None,
+        })
+        .collect();
+    Trace::from_raw("prop", &raws)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slab_and_hash_stores_agree(
+        reqs in prop::collection::vec((0u32..24, 1u64..3_000), 1..300),
+        capacity in 2_000u64..20_000,
+    ) {
+        let trace = trace_of(&reqs);
+        for key in [Key::Size, Key::AccessTime] {
+            let spec = KeySpec::pair(key, Key::EntryTime);
+            let mut slab: Cache<SlabStore> =
+                Cache::new_in(capacity, Box::new(SortedPolicy::new(spec)));
+            let mut hash: Cache<HashStore> =
+                Cache::new_in(capacity, Box::new(SortedPolicy::new(spec)));
+            for r in &trace.requests {
+                let a = slab.request(r);
+                let b = hash.request(r);
+                prop_assert_eq!(&a, &b);
+            }
+            prop_assert_eq!(slab.counts(), hash.counts());
+            prop_assert_eq!(slab.len(), hash.len());
+            slab.check_invariants();
+            hash.check_invariants();
+        }
+    }
+}

@@ -93,10 +93,18 @@ impl Exp1 {
     pub fn figure(&self, workload: &str) -> Option<String> {
         let w = self.workloads.iter().find(|w| w.workload == workload)?;
         let hr_pct = DailySeries::new(
-            w.hr_ma.values.iter().map(|v| v.map(|x| x * 100.0)).collect(),
+            w.hr_ma
+                .values
+                .iter()
+                .map(|v| v.map(|x| x * 100.0))
+                .collect(),
         );
         let whr_pct = DailySeries::new(
-            w.whr_ma.values.iter().map(|v| v.map(|x| x * 100.0)).collect(),
+            w.whr_ma
+                .values
+                .iter()
+                .map(|v| v.map(|x| x * 100.0))
+                .collect(),
         );
         Some(format!(
             "Infinite-cache hit rates, workload {} (7-day moving average)\n{}",

@@ -63,7 +63,9 @@ pub enum PolicySet {
     Named,
 }
 
-fn policies(set: PolicySet) -> Vec<(String, Box<dyn RemovalPolicy + Send>)> {
+/// The `(label, policy)` instances of a [`PolicySet`], in sweep order.
+/// Public so benchmarks can replay the exact Experiment 2 sweep.
+pub fn policies(set: PolicySet) -> Vec<(String, Box<dyn RemovalPolicy + Send>)> {
     match set {
         PolicySet::Figures => [Key::Size, Key::EntryTime, Key::AccessTime, Key::NRef]
             .iter()
@@ -308,10 +310,7 @@ mod tests {
             .map(|r| r.total_whr)
             .collect();
         let beat = others.iter().filter(|&&w| w > size).count();
-        assert!(
-            beat >= 2,
-            "SIZE WHR {size} should trail most of {others:?}"
-        );
+        assert!(beat >= 2, "SIZE WHR {size} should trail most of {others:?}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! caches sharing one second-level cache.
 
 use crate::runner::Ctx;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use webcache_core::cache::multilevel::{SharedL2, TwoLevelCache};
 use webcache_core::cache::Cache;
@@ -61,10 +62,12 @@ pub fn run_one(ctx: &Ctx, workload: &str, cache_fraction: f64) -> Exp3Workload {
 }
 
 /// Run Experiment 3 on the workloads the paper plots (BR, C, G) plus the
-/// other two for completeness.
+/// other two for completeness, one workload per thread. Output keeps the
+/// paper's workload order.
 pub fn run(ctx: &Ctx, cache_fraction: f64) -> Vec<Exp3Workload> {
     crate::runner::WORKLOADS
-        .iter()
+        .as_slice()
+        .par_iter()
         .map(|w| run_one(ctx, w, cache_fraction))
         .collect()
 }
@@ -72,11 +75,7 @@ pub fn run(ctx: &Ctx, cache_fraction: f64) -> Vec<Exp3Workload> {
 /// Render the Experiment 3 summary table.
 pub fn table(results: &[Exp3Workload]) -> String {
     let mut t = Table::new(vec![
-        "Workload",
-        "L1 HR %",
-        "L1 WHR %",
-        "L2 HR %",
-        "L2 WHR %",
+        "Workload", "L1 HR %", "L1 WHR %", "L2 HR %", "L2 WHR %",
     ]);
     for r in results {
         t.row(vec![

@@ -85,9 +85,8 @@ pub fn run(ctx: &Ctx, workload: &str, cache_fraction: f64) -> Exp4 {
     let runs = [0.25, 0.5, 0.75]
         .into_iter()
         .map(|audio_fraction| {
-            let mut system = PartitionedCache::audio_split(capacity, audio_fraction, || {
-                Box::new(named::size())
-            });
+            let mut system =
+                PartitionedCache::audio_split(capacity, audio_fraction, || Box::new(named::size()));
             let res = simulate(&trace, &mut system, "partitioned");
             let audio = res.stream("audio").expect("audio stream");
             let non = res.stream("non-audio").expect("non-audio stream");

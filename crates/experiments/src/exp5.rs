@@ -7,17 +7,22 @@
 
 use crate::runner::Ctx;
 use serde::{Deserialize, Serialize};
-use webcache_core::cache::{Cache, DocMeta};
-use webcache_core::policy::{Key, KeySpec, SortedPolicy};
-use webcache_core::sim::max_needed;
+use webcache_core::cache::{DocMeta, Outcome};
+use webcache_core::policy::{Key, KeySpec, RemovalPolicy, SortedPolicy};
+use webcache_core::sim::{max_needed, LaneSpec, MultiSim};
 use webcache_stats::{report, Table};
-use webcache_trace::{DocType, Request};
+use webcache_trace::{DocType, Request, ServerId};
 
-/// Synthetic refetch-latency model: a deterministic per-server latency in
-/// 20-1000 ms, heavy at the tail ("transatlantic" servers).
+/// Modelled refetch latency of a server: deterministic, 20-1000 ms, heavy
+/// at the tail ("transatlantic" servers).
+fn server_latency_ms(server: ServerId) -> u64 {
+    let h = (server.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+    20 + h % 7 * 160 // 20, 180, …, 980 ms
+}
+
+/// Synthetic refetch-latency model decorator.
 pub fn latency_model(r: &Request, m: &mut DocMeta) {
-    let h = (r.server.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
-    m.refetch_latency_ms = 20 + h % 7 * 160; // 20, 180, …, 980 ms
+    m.refetch_latency_ms = server_latency_ms(r.server);
 }
 
 /// Synthetic expiry model: text/CGI documents expire two hours after
@@ -47,90 +52,76 @@ pub struct ExtensionRun {
     pub mean_latency_ms: f64,
 }
 
-/// Run one policy with the extension decorators and custom metrics.
-fn run_policy(
-    trace: &webcache_trace::Trace,
-    capacity: u64,
-    spec: KeySpec,
-    label: &str,
-) -> ExtensionRun {
-    let mut cache = Cache::new(capacity, Box::new(SortedPolicy::new(spec)))
-        .with_decorator(combined_model);
-    let mut text_reqs = 0u64;
-    let mut text_hits = 0u64;
-    let mut latency_total = 0u64;
-    for r in &trace.requests {
-        let hit = cache.request(r).is_hit();
-        if r.doc_type == DocType::Text {
-            text_reqs += 1;
-            if hit {
-                text_hits += 1;
-            }
-        }
-        if !hit {
-            // Cost of refetching from this server.
-            let mut probe = DocMeta {
-                url: r.url,
-                size: r.size,
-                doc_type: r.doc_type,
-                entry_time: r.time,
-                last_access: r.time,
-                nrefs: 1,
-                expires: None,
-                refetch_latency_ms: 0,
-                type_priority: 0,
-                last_modified: None,
-            };
-            latency_model(r, &mut probe);
-            latency_total += probe.refetch_latency_ms;
-        }
-    }
-    let c = cache.counts();
-    ExtensionRun {
-        policy: label.to_string(),
-        hr: c.hit_rate(),
-        whr: c.weighted_hit_rate(),
-        text_hr: if text_reqs == 0 {
-            0.0
-        } else {
-            text_hits as f64 / text_reqs as f64
-        },
-        mean_latency_ms: latency_total as f64 / c.requests.max(1) as f64,
-    }
-}
-
 /// Apply both extension models at insert time.
 fn combined_model(r: &Request, m: &mut DocMeta) {
     latency_model(r, m);
     expiry_model(r, m);
 }
 
-/// Run the extension-key comparison on one workload.
+/// Per-lane extension metrics accumulated during the single shared pass.
+#[derive(Debug, Default, Clone, Copy)]
+struct ExtObserver {
+    text_reqs: u64,
+    text_hits: u64,
+    latency_total: u64,
+}
+
+impl ExtObserver {
+    fn observe(&mut self, r: &Request, out: &Outcome) {
+        let hit = out.is_hit();
+        if r.doc_type == DocType::Text {
+            self.text_reqs += 1;
+            if hit {
+                self.text_hits += 1;
+            }
+        }
+        if !hit {
+            // Cost of refetching from this server; hits cost nothing.
+            self.latency_total += server_latency_ms(r.server);
+        }
+    }
+}
+
+/// Run the extension-key comparison on one workload: all five policies as
+/// [`MultiSim`] lanes over one pass, each with the extension decorators
+/// and a metrics observer attached.
 pub fn run(ctx: &Ctx, workload: &str, cache_fraction: f64) -> Vec<ExtensionRun> {
     let trace = ctx.trace(workload);
     let capacity = ((max_needed(&trace) as f64 * cache_fraction) as u64).max(1);
-    vec![
-        run_policy(&trace, capacity, KeySpec::primary(Key::Size), "SIZE"),
-        run_policy(
-            &trace,
-            capacity,
-            KeySpec::pair(Key::DocTypePriority, Key::Size),
+    let lane = |label: &str, spec: KeySpec| {
+        let policy = Box::new(SortedPolicy::new(spec)) as Box<dyn RemovalPolicy>;
+        LaneSpec::new(label, policy).with_decorator(combined_model)
+    };
+    let lanes = vec![
+        lane("SIZE", KeySpec::primary(Key::Size)),
+        lane(
             "DOCTYPE+SIZE",
+            KeySpec::pair(Key::DocTypePriority, Key::Size),
         ),
-        run_policy(
-            &trace,
-            capacity,
-            KeySpec::pair(Key::Latency, Key::Size),
-            "LATENCY+SIZE",
-        ),
-        run_policy(
-            &trace,
-            capacity,
-            KeySpec::pair(Key::Expiry, Key::Size),
-            "EXPIRY+SIZE",
-        ),
-        run_policy(&trace, capacity, KeySpec::primary(Key::AccessTime), "LRU"),
-    ]
+        lane("LATENCY+SIZE", KeySpec::pair(Key::Latency, Key::Size)),
+        lane("EXPIRY+SIZE", KeySpec::pair(Key::Expiry, Key::Size)),
+        lane("LRU", KeySpec::primary(Key::AccessTime)),
+    ];
+    MultiSim::new(&trace, capacity)
+        .run_observed(lanes, ExtObserver::default, |obs, r, out| {
+            obs.observe(r, out)
+        })
+        .into_iter()
+        .map(|(label, result, obs)| {
+            let c = result.stream("cache").expect("cache stream").total;
+            ExtensionRun {
+                policy: label,
+                hr: c.hit_rate(),
+                whr: c.weighted_hit_rate(),
+                text_hr: if obs.text_reqs == 0 {
+                    0.0
+                } else {
+                    obs.text_hits as f64 / obs.text_reqs as f64
+                },
+                mean_latency_ms: obs.latency_total as f64 / c.requests.max(1) as f64,
+            }
+        })
+        .collect()
 }
 
 /// Render the extension comparison.
@@ -202,21 +193,20 @@ pub fn replicate(
         let ctx = Ctx::with_scale(scale, seed);
         let trace = ctx.trace(workload);
         let capacity = ((max_needed(&trace) as f64 * cache_fraction) as u64).max(1);
-        let run = |key| {
-            let res = webcache_core::sim::simulate_policy(
-                &trace,
-                capacity,
-                Box::new(SortedPolicy::new(KeySpec::primary(key))),
-            );
-            let t = res.stream("cache").expect("stream").total;
-            (t.hit_rate(), t.weighted_hit_rate())
-        };
-        let (shr, swhr) = run(Key::Size);
-        let (lhr, lwhr) = run(Key::AccessTime);
-        size_hr.push(shr);
-        lru_hr.push(lhr);
-        size_whr.push(swhr);
-        lru_whr.push(lwhr);
+        let make =
+            |key| Box::new(SortedPolicy::new(KeySpec::primary(key))) as Box<dyn RemovalPolicy>;
+        let out = MultiSim::new(&trace, capacity).run(vec![
+            ("SIZE".to_string(), make(Key::Size)),
+            ("LRU".to_string(), make(Key::AccessTime)),
+        ]);
+        let totals: Vec<_> = out
+            .iter()
+            .map(|(_, res)| res.stream("cache").expect("stream").total)
+            .collect();
+        size_hr.push(totals[0].hit_rate());
+        size_whr.push(totals[0].weighted_hit_rate());
+        lru_hr.push(totals[1].hit_rate());
+        lru_whr.push(totals[1].weighted_hit_rate());
     }
     (
         Replicated::of(&size_hr),

@@ -11,8 +11,17 @@ use webcache_trace::stats as tstats;
 /// Table 4 across all five workloads.
 pub fn table4(ctx: &Ctx) -> String {
     let mut t = Table::new(vec![
-        "File type", "U %refs", "U %bytes", "G %refs", "G %bytes", "C %refs", "C %bytes",
-        "BR %refs", "BR %bytes", "BL %refs", "BL %bytes",
+        "File type",
+        "U %refs",
+        "U %bytes",
+        "G %refs",
+        "G %bytes",
+        "C %refs",
+        "C %bytes",
+        "BR %refs",
+        "BR %bytes",
+        "BL %refs",
+        "BL %bytes",
     ]);
     let mixes: Vec<tstats::TypeMix> = crate::runner::WORKLOADS
         .iter()
@@ -87,7 +96,10 @@ impl RankFigure {
             .unwrap_or_else(|| "no fit (too few ranks)".to_string());
         format!(
             "Workload {}: {} distinct; top {} cover 50% of the total\n{}\n{}",
-            self.workload, self.distinct, self.half_coverage, fit,
+            self.workload,
+            self.distinct,
+            self.half_coverage,
+            fit,
             t.render()
         )
     }
@@ -120,12 +132,36 @@ pub fn fig14(ctx: &Ctx, workload: &str) -> Option<webcache_stats::scatter::Scatt
 /// Table 1 of the paper, rendered.
 pub fn table1() -> String {
     let mut t = Table::new(vec!["Key", "Definition", "Sort order (head removed first)"]);
-    t.row(vec!["SIZE", "size of cached document (bytes)", "largest file removed first"]);
-    t.row(vec!["LOG2(SIZE)", "floor of log2 of SIZE", "one of the largest removed first"]);
-    t.row(vec!["ETIME", "time document entered the cache", "oldest entry removed first (FIFO)"]);
-    t.row(vec!["ATIME", "time of last access", "least recently used removed first (LRU)"]);
-    t.row(vec!["DAY(ATIME)", "day of last access", "most days stale removed first"]);
-    t.row(vec!["NREF", "number of references", "least referenced removed first (LFU)"]);
+    t.row(vec![
+        "SIZE",
+        "size of cached document (bytes)",
+        "largest file removed first",
+    ]);
+    t.row(vec![
+        "LOG2(SIZE)",
+        "floor of log2 of SIZE",
+        "one of the largest removed first",
+    ]);
+    t.row(vec![
+        "ETIME",
+        "time document entered the cache",
+        "oldest entry removed first (FIFO)",
+    ]);
+    t.row(vec![
+        "ATIME",
+        "time of last access",
+        "least recently used removed first (LRU)",
+    ]);
+    t.row(vec![
+        "DAY(ATIME)",
+        "day of last access",
+        "most days stale removed first",
+    ]);
+    t.row(vec![
+        "NREF",
+        "number of references",
+        "least referenced removed first (LFU)",
+    ]);
     t.render()
 }
 
@@ -135,7 +171,12 @@ pub fn table3() -> String {
     t.row(vec!["FIFO", "ETIME (smallest)", "-", "-"]);
     t.row(vec!["LRU", "ATIME (smallest)", "-", "-"]);
     t.row(vec!["LFU", "NREF (smallest)", "-", "-"]);
-    t.row(vec!["Hyper-G", "NREF (smallest)", "ATIME (smallest)", "SIZE (largest)"]);
+    t.row(vec![
+        "Hyper-G",
+        "NREF (smallest)",
+        "ATIME (smallest)",
+        "SIZE (largest)",
+    ]);
     t.row(vec![
         "Pitkow/Recker",
         "DAY(ATIME) if any doc stale, else SIZE",

@@ -166,10 +166,14 @@ fn main() {
                 "workload {wl}, {seeds} seeds, 10% cache:\n\
                  SIZE HR {:.2}% ± {:.2} | LRU HR {:.2}% ± {:.2}\n\
                  SIZE WHR {:.2}% ± {:.2} | LRU WHR {:.2}% ± {:.2}",
-                shr.mean * 100.0, shr.stddev * 100.0,
-                lhr.mean * 100.0, lhr.stddev * 100.0,
-                swhr.mean * 100.0, swhr.stddev * 100.0,
-                lwhr.mean * 100.0, lwhr.stddev * 100.0,
+                shr.mean * 100.0,
+                shr.stddev * 100.0,
+                lhr.mean * 100.0,
+                lhr.stddev * 100.0,
+                swhr.mean * 100.0,
+                swhr.stddev * 100.0,
+                lwhr.mean * 100.0,
+                lwhr.stddev * 100.0,
             );
         }
         "hitpos" => {
@@ -184,8 +188,7 @@ fn main() {
             for make in [named::lru, named::size] {
                 let policy = make();
                 let label = webcache_core::policy::RemovalPolicy::name(&policy);
-                let mut ic =
-                    InstrumentedCache::new(Cache::new(capacity, Box::new(policy)), 1000);
+                let mut ic = InstrumentedCache::new(Cache::new(capacity, Box::new(policy)), 1000);
                 simulate(&trace, &mut ic, &label);
                 let rep = ic.report();
                 println!(
@@ -218,7 +221,10 @@ fn main() {
             println!("{}", figures::table4(&ctx));
             println!("{}", figures::fig1(&ctx, "BL").render("requests"));
             println!("{}", figures::fig2(&ctx, "BL").render("bytes"));
-            println!("{}", figures::render_fig13(&figures::fig13(&ctx, "BL"), "BL"));
+            println!(
+                "{}",
+                figures::render_fig13(&figures::fig13(&ctx, "BL"), "BL")
+            );
             let e1 = exp1::run(&ctx);
             save("exp1", &e1);
             println!("{}", e1.summary_table(ctx.scale()));

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use webcache_core::policy::RemovalPolicy;
-use webcache_core::sim::{simulate_policy, SimResult};
+use webcache_core::sim::{MultiSim, SimResult};
 use webcache_trace::Trace;
 use webcache_workload::profiles;
 
@@ -57,8 +57,8 @@ impl Ctx {
         if let Some(t) = self.traces.lock().expect("poisoned").get(name) {
             return Arc::clone(t);
         }
-        let profile = profiles::by_name(name)
-            .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+        let profile =
+            profiles::by_name(name).unwrap_or_else(|| panic!("unknown workload {name:?}"));
         let profile = if self.scale < 1.0 {
             profile.scaled(self.scale)
         } else {
@@ -79,41 +79,19 @@ impl Default for Ctx {
     }
 }
 
-/// Run one `(label, policy)` simulation per entry, in parallel, preserving
-/// input order in the output.
+/// Run one `(label, policy)` simulation per entry, preserving input order
+/// in the output. Delegates to [`MultiSim`], which drives all policy lanes
+/// through a single shared pass over the trace, chunked across threads.
 pub fn parallel_sims(
     trace: &Trace,
     capacity: u64,
     policies: Vec<(String, Box<dyn RemovalPolicy + Send>)>,
 ) -> Vec<(String, SimResult)> {
-    let results: Vec<Mutex<Option<(String, SimResult)>>> =
-        policies.iter().map(|_| Mutex::new(None)).collect();
-    let work: Mutex<Vec<(usize, String, Box<dyn RemovalPolicy + Send>)>> = Mutex::new(
-        policies
-            .into_iter()
-            .enumerate()
-            .map(|(i, (n, p))| (i, n, p))
-            .collect(),
-    );
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(results.len().max(1));
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let item = work.lock().expect("poisoned").pop();
-                let Some((i, name, policy)) = item else { break };
-                let res = simulate_policy(trace, capacity, policy);
-                *results[i].lock().expect("poisoned") = Some((name, res));
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
+    let lanes = policies
         .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("filled"))
-        .collect()
+        .map(|(name, policy)| (name, policy as Box<dyn RemovalPolicy>))
+        .collect();
+    MultiSim::new(trace, capacity).run(lanes)
 }
 
 #[cfg(test)]
@@ -148,7 +126,7 @@ mod tests {
         let out = parallel_sims(&trace, cap, jobs);
         assert_eq!(out[0].0, "SIZE");
         assert_eq!(out[1].0, "LRU");
-        let serial = simulate_policy(&trace, cap, Box::new(named::size()));
+        let serial = webcache_core::sim::simulate_policy(&trace, cap, Box::new(named::size()));
         assert_eq!(
             out[0].1.stream("cache").unwrap().total,
             serial.stream("cache").unwrap().total

@@ -9,8 +9,8 @@
 //!    `200` replaces it (miss);
 //! 3. no copy → forward the GET to the origin and cache the result.
 
-use crate::http::{self, Request, Response};
 use crate::http::HttpError;
+use crate::http::{self, Request, Response};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -220,7 +220,9 @@ fn proxy_get(
     };
 
     if let Some((meta, body, fetched, now)) = cached {
-        let fresh = config.ttl.map_or(true, |ttl| now.saturating_sub(fetched) <= ttl);
+        let fresh = config
+            .ttl
+            .is_none_or(|ttl| now.saturating_sub(fetched) <= ttl);
         if fresh {
             // Case 1: consistent copy, serve it.
             let mut st = state.lock();
@@ -229,8 +231,10 @@ fn proxy_get(
             return Ok(Response::ok(body, meta.last_modified).with_cache_status(true));
         }
         // Case 2: revalidate with a conditional GET.
-        let cond = Request::get(target)
-            .with_header("If-Modified-Since", &meta.last_modified.unwrap_or(0).to_string());
+        let cond = Request::get(target).with_header(
+            "If-Modified-Since",
+            &meta.last_modified.unwrap_or(0).to_string(),
+        );
         let origin_resp = fetch_origin(origin, &cond)?;
         if origin_resp.status == 304 {
             let mut st = state.lock();

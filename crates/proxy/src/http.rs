@@ -57,7 +57,8 @@ impl Request {
 
     /// Add a header.
     pub fn with_header(mut self, name: &str, value: &str) -> Request {
-        self.headers.insert(name.to_ascii_lowercase(), value.to_string());
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
         self
     }
 

@@ -2,9 +2,9 @@
 //! including conditional GET (`If-Modified-Since` → `304 Not Modified`),
 //! the consistency mechanism section 1 of the paper describes.
 
-use crate::http::{self, Response};
 #[cfg(test)]
 use crate::http::Request;
+use crate::http::{self, Response};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -267,14 +267,20 @@ mod tests {
         assert!(o.store().modify("http://origin.test/a.html", 1200, 500));
         let after = fetch(o.addr(), &Request::get("http://origin.test/a.html"));
         assert_eq!(after.last_modified(), Some(500));
-        assert_ne!(before.body, after.body, "same-size modification must change content");
+        assert_ne!(
+            before.body, after.body,
+            "same-size modification must change content"
+        );
         assert!(!o.store().modify("http://nope/", 1, 1));
     }
 
     #[test]
     fn unknown_documents_404_and_bad_methods_501() {
         let o = start();
-        assert_eq!(fetch(o.addr(), &Request::get("http://origin.test/zzz")).status, 404);
+        assert_eq!(
+            fetch(o.addr(), &Request::get("http://origin.test/zzz")).status,
+            404
+        );
         let mut req = Request::get("http://origin.test/a.html");
         req.method = "POST".to_string();
         assert_eq!(fetch(o.addr(), &req).status, 501);

@@ -100,8 +100,8 @@ fn conditional_get_propagates_down_the_chain() {
     // A downstream cache revalidating an up-to-date copy gets 304 from
     // the parent's cache without any body bytes.
     let mut s = TcpStream::connect(parent.addr()).expect("connect");
-    let cond = Request::get("http://o.test/b.gif")
-        .with_header("If-Modified-Since", &lm.to_string());
+    let cond =
+        Request::get("http://o.test/b.gif").with_header("If-Modified-Since", &lm.to_string());
     write_request(&mut s, &cond).expect("send");
     let resp = read_response(&mut s).expect("recv");
     assert_eq!(resp.status, 304);

@@ -71,11 +71,7 @@ impl Histogram {
         if self.total() == 0 {
             return None;
         }
-        let (i, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)?;
+        let (i, _) = self.counts.iter().enumerate().max_by_key(|&(_, c)| *c)?;
         Some(self.edges[i])
     }
 

@@ -186,7 +186,7 @@ mod tests {
         let first = ma.values.iter().position(|v| v.is_some()).unwrap();
         assert_eq!(first, 9);
         assert_eq!(ma.values[9], Some(3.0)); // mean of values 0..=6
-        // Idle days stay unrecorded.
+                                             // Idle days stay unrecorded.
         assert!(ma.values[4].is_none() && ma.values[5].is_none());
     }
 

@@ -50,7 +50,11 @@ pub fn fit(desc_counts: &[u64]) -> Option<ZipfFit> {
         return None;
     }
     let slope = sxy / sxx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(ZipfFit {
         alpha: -slope,
         log10_c: my - slope * mx,
@@ -144,7 +148,7 @@ mod tests {
     fn coverage_count_finds_the_head() {
         // One giant, many small: the giant alone covers 50%.
         let mut counts = vec![1000u64];
-        counts.extend(std::iter::repeat(10).take(100));
+        counts.extend(std::iter::repeat_n(10, 100));
         assert_eq!(coverage_count(&counts, 0.5), 1);
         assert_eq!(coverage_count(&counts, 1.0), 101);
         assert_eq!(coverage_count(&[], 0.5), 0);

@@ -139,7 +139,9 @@ pub fn parse_line(line: &str, epoch: i64) -> Result<RawRequest, ClfError> {
     let rest = rest.strip_prefix('"').ok_or_else(malformed)?;
     let (request, rest) = rest.split_once('"').ok_or_else(malformed)?;
     let mut req_it = request.split_ascii_whitespace();
-    let method = req_it.next().ok_or_else(|| ClfError::BadRequest(request.to_string()))?;
+    let method = req_it
+        .next()
+        .ok_or_else(|| ClfError::BadRequest(request.to_string()))?;
     if !matches!(method, "GET" | "HEAD" | "POST") {
         return Err(ClfError::BadRequest(request.to_string()));
     }

@@ -222,9 +222,8 @@ impl Interner {
         if let Some(&id) = self.server_index.get(host) {
             return id;
         }
-        let id = ServerId(
-            u32::try_from(self.servers.len()).expect("more than u32::MAX unique servers"),
-        );
+        let id =
+            ServerId(u32::try_from(self.servers.len()).expect("more than u32::MAX unique servers"));
         self.servers.push(host.to_string());
         self.server_index.insert(host.to_string(), id);
         id
@@ -235,9 +234,8 @@ impl Interner {
         if let Some(&id) = self.client_index.get(host) {
             return id;
         }
-        let id = ClientId(
-            u32::try_from(self.clients.len()).expect("more than u32::MAX unique clients"),
-        );
+        let id =
+            ClientId(u32::try_from(self.clients.len()).expect("more than u32::MAX unique clients"));
         self.clients.push(host.to_string());
         self.client_index.insert(host.to_string(), id);
         id
@@ -309,7 +307,10 @@ mod tests {
 
     #[test]
     fn server_extraction() {
-        assert_eq!(server_of_url("http://www.cs.vt.edu/~chitra/www.html"), "www.cs.vt.edu");
+        assert_eq!(
+            server_of_url("http://www.cs.vt.edu/~chitra/www.html"),
+            "www.cs.vt.edu"
+        );
         assert_eq!(server_of_url("http://host"), "host");
         assert_eq!(server_of_url("/relative/path.html"), "-");
     }

@@ -30,7 +30,10 @@ impl TypeMix {
     }
 
     fn index(t: DocType) -> usize {
-        DocType::ALL.iter().position(|&x| x == t).expect("DocType::ALL covers all")
+        DocType::ALL
+            .iter()
+            .position(|&x| x == t)
+            .expect("DocType::ALL covers all")
     }
 
     /// Compute the mix of a trace.
@@ -47,7 +50,11 @@ impl TypeMix {
         let mut shares = [TypeShare::default(); 6];
         for i in 0..6 {
             shares[i] = TypeShare {
-                refs: if total_refs == 0 { 0.0 } else { refs[i] as f64 / total_refs as f64 },
+                refs: if total_refs == 0 {
+                    0.0
+                } else {
+                    refs[i] as f64 / total_refs as f64
+                },
                 bytes: if total_bytes == 0 {
                     0.0
                 } else {

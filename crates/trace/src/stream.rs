@@ -204,10 +204,7 @@ mod tests {
             assert_eq!(a.time, b.time);
             assert_eq!(a.size, b.size);
             assert_eq!(a.doc_type, b.doc_type);
-            assert_eq!(
-                t.interner.url_text(a.url),
-                t2.interner.url_text(b.url)
-            );
+            assert_eq!(t.interner.url_text(a.url), t2.interner.url_text(b.url));
         }
     }
 

@@ -13,8 +13,8 @@
 //! size — the document-modification signal the simulator uses for
 //! consistency (the paper reports 0.5%-4.1% across its traces).
 
-use crate::record::{Interner, RawRequest, Request};
 use crate::record::{DocType, UrlId};
+use crate::record::{Interner, RawRequest, Request};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -157,9 +157,18 @@ mod tests {
     #[test]
     fn non_200_is_dropped() {
         let mut v = Validator::new();
-        assert_eq!(v.validate(&raw(0, "http://s/a", 404, 10)), Err(DropReason::NotOk));
-        assert_eq!(v.validate(&raw(1, "http://s/a", 304, 10)), Err(DropReason::NotOk));
-        assert_eq!(v.validate(&raw(2, "http://s/a", 500, 10)), Err(DropReason::NotOk));
+        assert_eq!(
+            v.validate(&raw(0, "http://s/a", 404, 10)),
+            Err(DropReason::NotOk)
+        );
+        assert_eq!(
+            v.validate(&raw(1, "http://s/a", 304, 10)),
+            Err(DropReason::NotOk)
+        );
+        assert_eq!(
+            v.validate(&raw(2, "http://s/a", 500, 10)),
+            Err(DropReason::NotOk)
+        );
         assert_eq!(v.stats().dropped_not_ok, 3);
         assert_eq!(v.stats().accepted, 0);
     }

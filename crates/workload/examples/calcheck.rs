@@ -11,8 +11,13 @@ fn main() {
         let mn = webcache_core::sim::max_needed(&trace);
         println!(
             "{:3} days={} req={} bytes={:.2}GB uniq={} maxneeded={:.0}MB gen+sim={:?}",
-            s.name, s.days, s.requests, s.total_bytes as f64 / 1e9, s.unique_urls,
-            mn as f64 / 1e6, t0.elapsed()
+            s.name,
+            s.days,
+            s.requests,
+            s.total_bytes as f64 / 1e9,
+            s.unique_urls,
+            mn as f64 / 1e6,
+            t0.elapsed()
         );
     }
 }

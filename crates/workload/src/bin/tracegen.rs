@@ -34,7 +34,11 @@ fn main() {
         eprintln!("unknown workload {workload:?}; choose U, G, C, BR or BL");
         std::process::exit(2);
     };
-    let profile = if scale < 1.0 { profile.scaled(scale) } else { profile };
+    let profile = if scale < 1.0 {
+        profile.scaled(scale)
+    } else {
+        profile
+    };
     let trace = webcache_workload::generate(&profile, seed);
     let text = trace.to_clf(EPOCH);
     match out {

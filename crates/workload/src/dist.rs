@@ -43,7 +43,9 @@ impl ZipfSampler {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen::<f64>() * total;
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability of rank `i`.
@@ -77,7 +79,10 @@ pub fn expected_distinct(universe: usize, alpha: f64, n_draws: u64) -> f64 {
 /// (BL: 36,771 uniques in 53,881 requests) and MaxNeeded. Returns at least
 /// `target_distinct`.
 pub fn calibrate_universe(alpha: f64, n_draws: u64, target_distinct: u64) -> usize {
-    assert!(target_distinct <= n_draws, "cannot see more uniques than draws");
+    assert!(
+        target_distinct <= n_draws,
+        "cannot see more uniques than draws"
+    );
     let target = target_distinct as f64;
     let mut lo = target_distinct as usize;
     let mut hi = lo.max(16);
@@ -152,8 +157,8 @@ impl SizeDist {
 /// Hourly request weights of a campus workday: quiet at night, ramping
 /// through the morning, peaking in the afternoon, tapering in the evening.
 const HOUR_WEIGHTS: [f64; 24] = [
-    0.4, 0.3, 0.2, 0.2, 0.2, 0.3, 0.5, 1.0, 2.0, 3.0, 3.5, 3.5, 3.0, 3.5, 4.0, 4.0, 3.5, 3.0,
-    2.5, 2.5, 2.0, 1.5, 1.0, 0.6,
+    0.4, 0.3, 0.2, 0.2, 0.2, 0.3, 0.5, 1.0, 2.0, 3.0, 3.5, 3.5, 3.0, 3.5, 4.0, 4.0, 3.5, 3.0, 2.5,
+    2.5, 2.0, 1.5, 1.0, 0.6,
 ];
 
 /// Draw a second-of-day following the diurnal profile.

@@ -38,7 +38,9 @@ fn requests_per_day(profile: &WorkloadProfile) -> Vec<u64> {
         .rposition(|&c| c > 0)
         .expect("validate() guarantees an active day");
     let c = &mut counts[last_active];
-    *c = (*c + profile.total_requests).saturating_sub(assigned).max(1);
+    *c = (*c + profile.total_requests)
+        .saturating_sub(assigned)
+        .max(1);
     counts
 }
 
@@ -63,7 +65,11 @@ pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
         profile.target_unique_urls.min(base_draws),
     );
     let fresh_size = profile.fresh.map_or(0, |f| {
-        calibrate_universe(profile.zipf_alpha, fresh_draws.max(1), f.target_unique.min(fresh_draws.max(1)))
+        calibrate_universe(
+            profile.zipf_alpha,
+            fresh_draws.max(1),
+            f.target_unique.min(fresh_draws.max(1)),
+        )
     });
 
     let universe = Universe::build_calibrated(
@@ -75,8 +81,7 @@ pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
         seed,
     );
     let base_sampler = ZipfSampler::new(base_size, profile.zipf_alpha);
-    let fresh_sampler =
-        (fresh_size > 0).then(|| ZipfSampler::new(fresh_size, profile.zipf_alpha));
+    let fresh_sampler = (fresh_size > 0).then(|| ZipfSampler::new(fresh_size, profile.zipf_alpha));
     let review_sampler = profile.review.map(|r| {
         let top = ((base_size as f64 * r.top_fraction) as usize).max(1);
         ZipfSampler::new(top, profile.zipf_alpha)
@@ -149,13 +154,14 @@ pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
             let spec = &universe.urls[idx];
             raws.push(RawRequest {
                 time,
-                client: format!("client{}.clients.example", rng.gen_range(0..profile.clients)),
+                client: format!(
+                    "client{}.clients.example",
+                    rng.gen_range(0..profile.clients)
+                ),
                 url: spec.url.clone(),
                 status: 200,
                 size: logged_size,
-                last_modified: profile
-                    .record_last_modified
-                    .then_some(st.last_modified),
+                last_modified: profile.record_last_modified.then_some(st.last_modified),
             });
             // Error noise the validator must drop.
             if rng.gen::<f64>() < profile.p_error {
@@ -164,7 +170,10 @@ pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
                     .expect("index in range");
                 raws.push(RawRequest {
                     time,
-                    client: format!("client{}.clients.example", rng.gen_range(0..profile.clients)),
+                    client: format!(
+                        "client{}.clients.example",
+                        rng.gen_range(0..profile.clients)
+                    ),
                     url: spec.url.clone(),
                     status,
                     size: 0,
@@ -294,7 +303,10 @@ mod tests {
     fn validation_noise_was_present_and_dropped() {
         let p = profiles::g().scaled(0.05);
         let t = generate(&p, 6);
-        assert!(t.validation.dropped_not_ok > 0, "no error entries generated");
+        assert!(
+            t.validation.dropped_not_ok > 0,
+            "no error entries generated"
+        );
         assert!(
             t.validation.assigned_last_known > 0,
             "no zero-size entries generated"

@@ -135,8 +135,16 @@ impl WorkloadProfile {
     pub fn validate(&self) {
         let refs: f64 = self.types.iter().map(|t| t.ref_share).sum();
         let bytes: f64 = self.types.iter().map(|t| t.byte_share).sum();
-        assert!((refs - 1.0).abs() < 0.01, "{}: ref shares sum to {refs}", self.name);
-        assert!((bytes - 1.0).abs() < 0.01, "{}: byte shares sum to {bytes}", self.name);
+        assert!(
+            (refs - 1.0).abs() < 0.01,
+            "{}: ref shares sum to {refs}",
+            self.name
+        );
+        assert!(
+            (bytes - 1.0).abs() < 0.01,
+            "{}: byte shares sum to {bytes}",
+            self.name
+        );
         assert_eq!(self.day_weights.len(), self.days as usize, "{}", self.name);
         assert!(self.day_weights.iter().any(|&w| w > 0.0));
         assert!(self.target_unique_urls <= self.total_requests);
@@ -255,7 +263,10 @@ mod tests {
         assert_eq!(p.days, 10);
         assert_eq!(p.total_requests, 100);
         assert_eq!(p.target_unique_urls, 40);
-        assert!((p.mean_request_size() - toy().mean_request_size()).abs() / toy().mean_request_size() < 0.01);
+        assert!(
+            (p.mean_request_size() - toy().mean_request_size()).abs() / toy().mean_request_size()
+                < 0.01
+        );
         p.validate();
     }
 }

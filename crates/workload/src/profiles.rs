@@ -318,7 +318,10 @@ mod tests {
         assert!(audio.ref_share < 0.03);
         // Audio documents average near the paper's implied 1.8 MB.
         let mean = audio.mean_size(p.total_requests, p.total_bytes);
-        assert!((1_500_000.0..2_100_000.0).contains(&mean), "audio mean {mean}");
+        assert!(
+            (1_500_000.0..2_100_000.0).contains(&mean),
+            "audio mean {mean}"
+        );
     }
 
     #[test]

@@ -45,10 +45,10 @@ pub fn semester_u(days: u64) -> Vec<f64> {
     (0..days)
         .map(|d| {
             let phase = match d {
-                0..=57 => 1.0,         // spring semester
-                58..=78 => 0.25,       // break between spring and summer
-                79..=154 => 0.6,       // summer session
-                _ => 3.6,              // fall: new users, soaring rate
+                0..=57 => 1.0,   // spring semester
+                58..=78 => 0.25, // break between spring and summer
+                79..=154 => 0.6, // summer session
+                _ => 3.6,        // fall: new users, soaring rate
             };
             phase * weekly[d as usize]
         })
@@ -79,7 +79,7 @@ mod tests {
         assert_eq!(w[5], 0.5); // Saturday
         assert_eq!(w[6], 0.5); // Sunday
         assert_eq!(w[7], 2.0); // next Monday
-        // Start on Saturday instead.
+                               // Start on Saturday instead.
         let w2 = weekly(7, 2.0, 0.5, 5);
         assert_eq!(w2[0], 0.5);
         assert_eq!(w2[2], 2.0);
@@ -102,7 +102,7 @@ mod tests {
         // Break is quieter than spring; fall is busier than everything.
         assert!(w[65] < w[30]);
         assert!(w[158] > w[30] * 2.0); // weekday vs weekday
-        // Weekend modulation persists through phases.
+                                       // Weekend modulation persists through phases.
         assert!(w[5] < w[4] || w[6] < w[4]);
     }
 

@@ -94,16 +94,16 @@ impl Universe {
                 continue;
             }
             // Zipf request weight of rank i within the phase.
-            let h: f64 = (1..=count).map(|i| (i as f64).powf(-profile.zipf_alpha)).sum();
-            let weight =
-                |i: usize| (i as f64 + 1.0).powf(-profile.zipf_alpha) / h * draws as f64;
+            let h: f64 = (1..=count)
+                .map(|i| (i as f64).powf(-profile.zipf_alpha))
+                .sum();
+            let weight = |i: usize| (i as f64 + 1.0).powf(-profile.zipf_alpha) / h * draws as f64;
             for t in &profile.types {
                 if t.ref_share <= 0.0 {
                     continue;
                 }
-                let target = t.byte_share
-                    * profile.total_bytes as f64
-                    * (draws as f64 / total_draws as f64);
+                let target =
+                    t.byte_share * profile.total_bytes as f64 * (draws as f64 / total_draws as f64);
                 let realized: f64 = u.urls[offset..offset + count]
                     .iter()
                     .enumerate()
@@ -136,7 +136,9 @@ impl Universe {
             .iter()
             .filter(|t| t.ref_share > 0.0)
             .map(|t| {
-                let mean = t.mean_size(profile.total_requests, profile.total_bytes).max(64.0);
+                let mean = t
+                    .mean_size(profile.total_requests, profile.total_bytes)
+                    .max(64.0);
                 (t.doc_type, SizeDist::with_mean(mean, t.sigma))
             })
             .collect();

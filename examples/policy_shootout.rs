@@ -39,7 +39,9 @@ fn main() {
     // Two personalities: BL (clients browsing the whole Web) and BR
     // (the audio-dominated server-side workload).
     for name in ["BL", "BR"] {
-        let profile = profiles::by_name(name).expect("known workload").scaled(scale);
+        let profile = profiles::by_name(name)
+            .expect("known workload")
+            .scaled(scale);
         let trace = generate(&profile, 7);
         let max = max_needed(&trace);
         println!(

@@ -27,7 +27,11 @@ fn main() {
 
     let max = max_needed(&trace);
     let capacity = max / 10;
-    println!("MaxNeeded = {:.1} MB; simulating a {:.1} MB cache\n", report::mb(max).parse::<f64>().unwrap(), report::mb(capacity).parse::<f64>().unwrap());
+    println!(
+        "MaxNeeded = {:.1} MB; simulating a {:.1} MB cache\n",
+        report::mb(max).parse::<f64>().unwrap(),
+        report::mb(capacity).parse::<f64>().unwrap()
+    );
 
     let mut rows: Vec<(String, f64, f64)> = Key::TABLE1
         .iter()

@@ -183,7 +183,11 @@ fn all36_sweep_crowns_a_size_primary() {
             || name.ends_with("/SIZE")
             || name.ends_with("/LOG2(SIZE)")
     };
-    assert!(size_driven(&best.policy), "winner {} is not size-driven", best.policy);
+    assert!(
+        size_driven(&best.policy),
+        "winner {} is not size-driven",
+        best.policy
+    );
     // And the best pure size primary is close behind the overall top.
     let best_size = e
         .runs
@@ -251,7 +255,10 @@ fn partitioned_cache_shape() {
 /// U ≫ G ≈ BL > C ≈ BR.
 #[test]
 fn max_needed_ordering_matches_paper() {
-    let ctx = Ctx::with_scale(SCALE, SEED);
+    // 0.08 rather than the file-wide SCALE: at 0.04 the G/BR and BL/BR
+    // gaps are within generation noise and their order depends on the
+    // generator stream.
+    let ctx = Ctx::with_scale(0.08, SEED);
     let mn: std::collections::HashMap<&str, u64> = ["U", "G", "C", "BR", "BL"]
         .into_iter()
         .map(|w| (w, max_needed(&ctx.trace(w))))

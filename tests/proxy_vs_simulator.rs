@@ -19,7 +19,11 @@ fn static_sequence(trace: &Trace) -> (Arc<DocStore>, Vec<(String, u64)>) {
     let mut seq = Vec::with_capacity(trace.len());
     for r in &trace.requests {
         let size = *first_size.entry(r.url).or_insert(r.size);
-        let url = trace.interner.url_text(r.url).expect("interned").to_string();
+        let url = trace
+            .interner
+            .url_text(r.url)
+            .expect("interned")
+            .to_string();
         seq.push((url, size));
     }
     for (&url, &size) in &first_size {
@@ -80,7 +84,8 @@ fn proxy_hits_match_simulator_hits() {
     }
 
     assert_eq!(
-        proxy_hits, sim_hits,
+        proxy_hits,
+        sim_hits,
         "proxy and simulator disagree on {} requests",
         seq.len()
     );

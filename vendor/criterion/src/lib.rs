@@ -1,0 +1,216 @@
+//! Offline in-repo substitute for `criterion`.
+//!
+//! Mirrors the API surface the bench crate uses (`benchmark_group`,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, the `criterion_group!`/`criterion_main!` macros) with a
+//! deliberately simple measurement loop: a few warm-up calls, then
+//! `sample_size` timed calls, reporting the mean wall-clock time per
+//! iteration. No statistical analysis, outlier rejection, or HTML reports
+//! — the goal is that `cargo bench` runs and prints comparable numbers,
+//! and that bench targets keep compiling offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// How throughput is expressed in reports.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Hint for how batched inputs are grouped. Ignored by this substitute
+/// (every iteration gets a fresh input).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration hint (accepted for API compatibility; this
+    /// substitute always runs a fixed small number of warm-up calls).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measurement duration hint (accepted for API compatibility; this
+    /// substitute times exactly `sample_size` calls).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare the work done per iteration, for ops/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.mean;
+        let label = format!("{}/{}", self.name, id.into());
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!("bench: {label:<50} {mean:>12.2?}/iter  {rate:>12.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!("bench: {label:<50} {mean:>12.2?}/iter  {rate:>12.0} B/s");
+            }
+            _ => println!("bench: {label:<50} {mean:>12.2?}/iter"),
+        }
+        self
+    }
+
+    /// Finish the group (separator line, matching criterion's flow).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `sample_size` times after 2 warm-up calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.sample_size as u32;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / self.sample_size as u32;
+    }
+}
+
+/// Collect benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        group.finish();
+        // 2 warm-up + 3 timed.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(4);
+        let mut setups = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::LargeInput,
+            )
+        });
+        // 1 warm-up + 4 timed.
+        assert_eq!(setups, 5);
+    }
+}

@@ -1,0 +1,574 @@
+//! Offline in-repo substitute for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use: integer/float range strategies, tuples, `prop_map`,
+//! `prop::collection::{vec, hash_set}`, `prop::option::of`,
+//! `prop::sample::select`, regex-literal string strategies (the
+//! `<atom>{lo,hi}` subset), and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, by design: generation is seeded
+//! deterministically (every run explores the same inputs — reproducible in
+//! CI, no persistence files), and failing cases are reported but **not
+//! shrunk**. The failure message includes the case's debug-formatted input
+//! where the caller provides it via `prop_assert!` format args.
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property over `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    //! Case generation loop and failure plumbing.
+
+    pub use crate::ProptestConfig;
+
+    /// A failed assertion inside a property body.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    /// A failed property: which case number and why.
+    #[derive(Debug)]
+    pub struct TestError {
+        /// 0-based index of the failing case.
+        pub case: u32,
+        /// The assertion message.
+        pub message: String,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "property failed at case {}: {} (deterministic seed; re-run reproduces)",
+                self.case, self.message
+            )
+        }
+    }
+
+    /// Deterministic generator state (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub(crate) fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)` (n > 0), via 128-bit multiply-shift.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives a property over `config.cases` generated inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// New runner with a fixed seed (deterministic across runs).
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: TestRng::new(0x7765_6263_6163_6865), // "webcache"
+            }
+        }
+
+        /// Generate and check every case; first failure wins.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: crate::strategy::Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                if let Err(TestCaseError(message)) = test(value) {
+                    return Err(TestError { case, message });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    lo + (rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String literals act as regex strategies, supporting the subset
+    /// `atom{lo,hi}` where atom is `.` (any printable char, no newline)
+    /// or a `[...]` class of literals and `a-z` ranges; bare atoms and
+    /// literal characters repeat once.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    /// Character pool for `.`: printable ASCII plus a sprinkling of
+    /// awkward inputs (tab, NUL, multi-byte) to keep parser fuzzing
+    /// honest. Newline is excluded, matching regex `.` semantics.
+    fn dot_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+        pool.extend(['\t', '\u{0}', '\u{7f}', 'é', 'λ', '日', '\u{2028}']);
+        pool
+    }
+
+    fn class_pool(class: &str) -> Vec<char> {
+        let chars: Vec<char> = class.chars().collect();
+        let mut pool = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                assert!(lo <= hi, "bad class range in pattern");
+                pool.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                pool.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!pool.is_empty(), "empty character class");
+        pool
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Atom.
+            let pool: Vec<char> = match chars[i] {
+                '.' => {
+                    i += 1;
+                    dot_pool()
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unterminated [class] in pattern")
+                        + i;
+                    let class: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    class_pool(&class)
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional {lo,hi} repetition (hi inclusive, as in regex).
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {lo,hi} in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                let (lo, hi) = body.split_once(',').expect("repetition must be {lo,hi}");
+                (
+                    lo.trim().parse::<usize>().expect("bad repetition bound"),
+                    hi.trim().parse::<usize>().expect("bad repetition bound"),
+                )
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(pool[rng.below(pool.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from real proptest.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// `Vec` of `element` values with length drawn from `size`
+        /// (half-open, matching `lo..hi` at the call site).
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `HashSet` of distinct `element` values with size drawn from
+        /// `size`. The element domain must be comfortably larger than the
+        /// requested size; generation retries duplicates a bounded number
+        /// of times and accepts a smaller set if the domain is exhausted.
+        pub fn hash_set<S>(element: S, size: std::ops::Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: std::hash::Hash + Eq,
+        {
+            assert!(size.start < size.end, "empty hash_set size range");
+            HashSetStrategy { element, size }
+        }
+
+        /// Strategy returned by [`hash_set`].
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: std::hash::Hash + Eq,
+        {
+            type Value = std::collections::HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start) as u64;
+                let target = self.size.start + rng.below(span) as usize;
+                let mut set = std::collections::HashSet::with_capacity(target);
+                let mut attempts = 0usize;
+                while set.len() < target && attempts < target * 20 + 100 {
+                    set.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// `Some(value)` or `None`, evenly weighted.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// Strategy returned by [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(2) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling from explicit value lists.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniform choice from a non-empty `Vec`.
+        pub fn select<T: Clone>(options: Vec<T>) -> SelectStrategy<T> {
+            assert!(!options.is_empty(), "select over empty list");
+            SelectStrategy { options }
+        }
+
+        /// Strategy returned by [`select`].
+        pub struct SelectStrategy<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for SelectStrategy<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob import mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                let outcome = runner.run(
+                    &($($strategy,)+),
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+                if let Err(e) = outcome {
+                    panic!("{e}");
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Assert inside a property body; failure aborts the case with a message
+/// instead of panicking (so the runner can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(200));
+        let strategy = ((1u64..10).prop_map(|x| x * 2),);
+        runner
+            .run(&strategy, |(x,)| {
+                prop_assert!((2..20).contains(&x));
+                prop_assert_eq!(x % 2, 0);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn regex_subset_shapes_match() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..100 {
+            let s = crate::strategy::Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = crate::strategy::Strategy::generate(&".{0,5}", &mut rng);
+            assert!(t.chars().count() <= 5);
+            assert!(!t.contains('\n'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: collections, options, and selects compose.
+        #[test]
+        fn macro_full_surface(
+            v in prop::collection::vec((0u32..5, 0u8..2), 1..20),
+            s in prop::collection::hash_set(0u32..1000, 2..10),
+            o in prop::option::of(0u64..3),
+            pick in prop::sample::select(vec![10u16, 20, 30]),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(s.len() >= 2 && s.len() < 10);
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+            prop_assert!(pick % 10 == 0);
+        }
+    }
+}

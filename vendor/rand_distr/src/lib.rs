@@ -1,0 +1,77 @@
+//! Offline in-repo substitute for `rand_distr`: just the [`LogNormal`]
+//! distribution the workload generators draw document sizes from,
+//! implemented with the Box-Muller transform over the vendored `rand`.
+
+use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the mean `mu` and standard deviation `sigma` of the
+    /// underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+            return Err(Error);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: z ~ N(0, 1) from two uniforms. `u1` is nudged away
+        // from zero so ln() stays finite.
+        let mut r = rng;
+        let u1: f64 = f64::max(Rng::gen::<f64>(&mut r), f64::MIN_POSITIVE);
+        let u2: f64 = Rng::gen::<f64>(&mut r);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_matches_analytic_mean() {
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2 / 2)
+        let (mu, sigma) = (6.0f64, 0.5f64);
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        let expect = (mu + sigma * sigma / 2.0).exp();
+        assert!(
+            (mean - expect).abs() / expect < 0.02,
+            "mean {mean} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

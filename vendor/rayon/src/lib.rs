@@ -1,0 +1,233 @@
+//! Offline in-repo substitute for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `par_iter`/`into_par_iter` + `map` + `collect`/`for_each`, and
+//! `par_chunks_mut` + `for_each` — on `std::thread::scope`. Work is split
+//! into contiguous per-thread chunks, so **output order always matches
+//! input order**, and a given input produces bit-identical results whether
+//! run on 1 thread or 64 (the property the simulation engine's determinism
+//! tests rely on). There is no work-stealing pool: parallelism here is
+//! coarse (policy lanes, whole simulations), where one thread per chunk is
+//! the right granularity anyway.
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Map `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// preserving order.
+fn run_map<T: Send, R: Send, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous split: chunk i gets items [start_i, start_{i+1}).
+    let base = n / threads;
+    let extra = n % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    for i in 0..threads {
+        let take = base + usize::from(i < extra);
+        let tail = rest.split_off(take);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon substitute: worker panicked"));
+        }
+        out
+    })
+}
+
+/// A materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` (executed in parallel at the terminal
+    /// operation).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_map(self.items, &|t| f(t));
+    }
+
+    /// Collect the items (no-op map).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator; terminal ops execute the parallel fan-out.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Execute in parallel and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Execute in parallel, discarding results.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = self.f;
+        run_map(self.items, &|t| g(f(t)));
+    }
+}
+
+/// Owned conversion into a parallel iterator (`Vec<T>`, ranges).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel mutable chunking (`.par_chunks_mut()`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of at most `size`, processed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Run `f` over every chunk, one scoped thread per chunk.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        let n_chunks = self.slice.len().div_ceil(self.size.max(1));
+        if n_chunks <= 1 {
+            if !self.slice.is_empty() {
+                f(self.slice);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for chunk in self.slice.chunks_mut(self.size) {
+                let f = &f;
+                s.spawn(move || f(chunk));
+            }
+        });
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let input: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = input.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, input.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_touch_every_element_once() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).for_each(|c| {
+            for v in c {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let mut e: Vec<u8> = Vec::new();
+        e.par_chunks_mut(4)
+            .for_each(|_| panic!("no chunks expected"));
+    }
+}

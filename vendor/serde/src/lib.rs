@@ -1,0 +1,219 @@
+//! Offline in-repo substitute for `serde`.
+//!
+//! The real serde's data-model indirection is unnecessary here: every use
+//! in this workspace ultimately produces JSON through
+//! `serde_json::to_string_pretty`. So [`Serialize`] *is* "write yourself as
+//! compact JSON", the derive macro generates that directly, and
+//! [`Deserialize`] exists only as a marker so `#[derive(Deserialize)]` and
+//! `use serde::Deserialize` keep compiling (nothing in the workspace
+//! deserialises).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Write `self` as compact JSON onto `out`.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait kept for API compatibility; never implemented or required.
+pub trait Deserialize<'de>: Sized {}
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{}` prints integral floats without a dot ("1"), which is
+            // still a valid JSON number.
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Maps serialise as JSON objects; non-string keys are rendered to their
+/// JSON form and wrapped as the member name.
+fn write_map_entry<K: Serialize, V: Serialize>(k: &K, v: &V, first: bool, out: &mut String) {
+    if !first {
+        out.push(',');
+    }
+    let mut key = String::new();
+    k.serialize_json(&mut key);
+    if key.starts_with('"') {
+        out.push_str(&key);
+    } else {
+        write_json_string(&key, out);
+    }
+    out.push(':');
+    v.serialize_json(out);
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            write_map_entry(k, v, i == 0, out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            write_map_entry(k, v, i == 0, out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(json(&3u64), "3");
+        assert_eq!(json(&-2i64), "-2");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&"a\"b".to_string()), "\"a\\\"b\"");
+        assert_eq!(json(&vec![1u32, 2]), "[1,2]");
+        assert_eq!(json(&Some(7u8)), "7");
+        assert_eq!(json(&None::<u8>), "null");
+        assert_eq!(json(&("x".to_string(), 4u64)), "[\"x\",4]");
+    }
+}

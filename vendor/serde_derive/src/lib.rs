@@ -1,0 +1,249 @@
+//! Derive macros for the in-repo serde substitute.
+//!
+//! `#[derive(Serialize)]` generates a JSON writer for named-field structs,
+//! tuple structs, and enums with unit variants — the only shapes this
+//! workspace serialises. `#[derive(Deserialize)]` expands to nothing (the
+//! workspace never deserialises; the derive exists so seed code keeps
+//! compiling unchanged).
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no syn/quote —
+//! those crates are unavailable offline): the item is tokenised, the shape
+//! is recognised, and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the JSON-writing `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let item = parse_item(&tokens);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => named_struct_body(fields),
+        Shape::TupleStruct(n) => tuple_struct_body(*n),
+        Shape::UnitStruct => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => enum_body(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{}\n}}\n}}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive: generated impl failed to parse")
+}
+
+/// No-op derive: deserialisation is unused in this workspace.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn named_struct_body(fields: &[String]) -> String {
+    let mut b = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            b.push_str("out.push(',');\n");
+        }
+        b.push_str(&format!(
+            "::serde::write_json_string(\"{f}\", out); out.push(':');\n\
+             ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+        ));
+    }
+    b.push_str("out.push('}');");
+    b
+}
+
+fn tuple_struct_body(n: usize) -> String {
+    match n {
+        0 => "out.push_str(\"null\");".to_string(),
+        // Newtype: serialise transparently, like real serde.
+        1 => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        n => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+    }
+}
+
+fn enum_body(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::write_json_string(\"{v}\", out),\n"))
+        .collect();
+    format!("match self {{\n{arms}}}")
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Item {
+    let mut i = 0;
+    skip_attrs(tokens, &mut i);
+    skip_visibility(tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive substitute does not support generic types ({name})");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unsupported struct body ({other:?})"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_unit_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: unsupported enum body ({other:?})"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        *i += 1; // the [...] group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `:` and the type, up to a comma at angle depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    n
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next comma.
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive substitute supports only unit variants \
+                 (enum {enum_name}, variant {})",
+                variants.last().unwrap()
+            ),
+            Some(other) => panic!("serde_derive: unexpected token {other} in enum {enum_name}"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,115 @@
+//! Offline in-repo substitute for `serde_json`: compact and pretty
+//! serialisation over the substitute `serde::Serialize` (which writes
+//! compact JSON directly).
+
+use serde::Serialize;
+
+/// Serialisation error. The substitute `Serialize` is infallible, so this
+/// is never produced; it exists to keep `Result`-shaped call sites intact.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialise to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indent compact JSON. Walks the text once, tracking string literals,
+/// so it needs no value model.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(close);
+                    chars.next();
+                } else {
+                    depth += 1;
+                    newline_indent(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline_indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline_indent(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_round_structure() {
+        let v = vec![("a".to_string(), 1u64), ("b".to_string(), 2u64)];
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "[[\"a\",1],[\"b\",2]]");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n"));
+        // Stripping whitespace outside strings recovers the compact form.
+        let stripped: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(stripped, compact);
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let v: Vec<u8> = vec![];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}
