@@ -1,0 +1,216 @@
+//! Before/after benchmark of the zero-allocation ingestion pipeline.
+//!
+//! For every workload (at `--scale`, default 0.1) this measures three
+//! stages, each against the seed architecture it replaced:
+//!
+//! * **generate** — seed pipeline (`baseline_generate`: one global RNG,
+//!   two heap-allocated strings per raw entry, full re-sort + re-intern
+//!   through `Trace::from_raw`) vs the event-based generator, serial
+//!   (`generate_serial`) and parallel (`generate`, per-day RNG streams
+//!   across rayon threads). Serial and parallel must be bit-identical
+//!   (asserted here before any number is reported).
+//! * **CLF parse** — seed pipeline (`baseline_parse_clf`: owned
+//!   `RawRequest` per line) vs the byte-level parser
+//!   (`Trace::from_clf_bytes`). Both sides must produce identical traces.
+//! * **load** — memory-mapped binary `.wct` load (`binfmt::load`) vs
+//!   re-parsing the same trace from CLF text, the cost an experiment run
+//!   pays when no packed trace exists.
+//!
+//! Timings are best-of-N with reps alternating sides, and land in
+//! `BENCH_ingest.json` at the repository root; see README.md for the
+//! format.
+
+use std::time::Instant;
+use webcache_bench::{baseline_generate, baseline_parse_clf};
+use webcache_experiments::runner::WORKLOADS;
+use webcache_trace::{binfmt, Trace};
+use webcache_workload::{generate, generate_serial, profiles};
+
+const SEED: u64 = 1;
+/// Unix time of 1995-09-17 00:00:00 UTC — the BR/BL collection start.
+const EPOCH: i64 = 811_296_000;
+/// Runs per side per workload; reps alternate sides so slow phases of a
+/// shared machine hit every side, and best-of-N damps the rest.
+const REPS: usize = 3;
+
+struct Row {
+    workload: &'static str,
+    requests: usize,
+    clf_bytes: usize,
+    gen_before_ms: f64,
+    gen_serial_ms: f64,
+    gen_parallel_ms: f64,
+    parse_before_ms: f64,
+    parse_after_ms: f64,
+    binfmt_load_ms: f64,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64() * 1e3, out)
+}
+
+fn main() {
+    let mut scale = 0.1f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a number in (0, 1]");
+            }
+            other => {
+                eprintln!("usage: ingest [--scale F]  (unknown argument {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(scale > 0.0 && scale <= 1.0, "scale out of range: {scale}");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for workload in WORKLOADS {
+        let profile = profiles::by_name(workload)
+            .expect("known workload")
+            .scaled(scale);
+
+        // Generation: seed string pipeline vs event-based, serial and
+        // parallel. The parallel path must match the serial path bit for
+        // bit or the comparison (and every experiment) is meaningless.
+        let mut gen_before_ms = f64::INFINITY;
+        let mut gen_serial_ms = f64::INFINITY;
+        let mut gen_parallel_ms = f64::INFINITY;
+        let mut trace = Trace::default();
+        for _ in 0..REPS {
+            let (ms, _) = timed(|| baseline_generate(&profile, SEED));
+            gen_before_ms = gen_before_ms.min(ms);
+            let (ms, serial) = timed(|| generate_serial(&profile, SEED));
+            gen_serial_ms = gen_serial_ms.min(ms);
+            let (ms, parallel) = timed(|| generate(&profile, SEED));
+            gen_parallel_ms = gen_parallel_ms.min(ms);
+            assert_eq!(
+                serial.requests, parallel.requests,
+                "{workload}: parallel generation diverged from serial"
+            );
+            assert_eq!(serial.validation, parallel.validation);
+            trace = parallel;
+        }
+
+        // CLF parse: owned-string line parsing vs the byte-level parser,
+        // over the same text. Identical traces required.
+        let text = trace.to_clf(EPOCH);
+        let mut parse_before_ms = f64::INFINITY;
+        let mut parse_after_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let (ms, (a, bad_a)) = timed(|| baseline_parse_clf(workload, &text, EPOCH));
+            parse_before_ms = parse_before_ms.min(ms);
+            let (ms, (b, bad_b)) =
+                timed(|| Trace::from_clf_bytes(workload, text.as_bytes(), EPOCH));
+            parse_after_ms = parse_after_ms.min(ms);
+            assert_eq!(bad_a, bad_b, "{workload}: parsers disagree on bad lines");
+            assert_eq!(
+                a.requests, b.requests,
+                "{workload}: byte parser diverged from string parser"
+            );
+        }
+
+        // Packed load vs CLF re-parse: what `Ctx` saves per cache hit.
+        let wct = std::env::temp_dir().join(format!(
+            "bench_ingest_{workload}_{}.wct",
+            std::process::id()
+        ));
+        binfmt::save(&trace, &wct).expect("write packed trace");
+        let mut binfmt_load_ms = f64::INFINITY;
+        for _ in 0..REPS {
+            let (ms, loaded) = timed(|| binfmt::load(&wct).expect("load packed trace"));
+            binfmt_load_ms = binfmt_load_ms.min(ms);
+            assert_eq!(
+                loaded.requests, trace.requests,
+                "{workload}: packed round trip diverged"
+            );
+        }
+        let _ = std::fs::remove_file(&wct);
+
+        eprintln!(
+            "{workload}: {} requests | gen {gen_before_ms:.0} -> {gen_parallel_ms:.0} ms \
+             ({:.2}x) | parse {parse_before_ms:.0} -> {parse_after_ms:.0} ms ({:.2}x) | \
+             load {parse_after_ms:.0} -> {binfmt_load_ms:.1} ms ({:.1}x)",
+            trace.len(),
+            gen_before_ms / gen_parallel_ms,
+            parse_before_ms / parse_after_ms,
+            parse_after_ms / binfmt_load_ms,
+        );
+        rows.push(Row {
+            workload,
+            requests: trace.len(),
+            clf_bytes: text.len(),
+            gen_before_ms,
+            gen_serial_ms,
+            gen_parallel_ms,
+            parse_before_ms,
+            parse_after_ms,
+            binfmt_load_ms,
+        });
+    }
+
+    let sum = |f: fn(&Row) -> f64| -> f64 { rows.iter().map(f).sum() };
+    let total_requests: usize = rows.iter().map(|r| r.requests).sum();
+    let total_clf_mb = rows.iter().map(|r| r.clf_bytes).sum::<usize>() as f64 / 1e6;
+    let gen_speedup = sum(|r| r.gen_before_ms) / sum(|r| r.gen_parallel_ms);
+    let parse_speedup = sum(|r| r.parse_before_ms) / sum(|r| r.parse_after_ms);
+    let load_speedup = sum(|r| r.parse_after_ms) / sum(|r| r.binfmt_load_ms);
+    let gen_req_s = total_requests as f64 / (sum(|r| r.gen_parallel_ms) / 1e3);
+    let parse_mb_s = total_clf_mb / (sum(|r| r.parse_after_ms) / 1e3);
+    eprintln!(
+        "total: gen {gen_speedup:.2}x ({gen_req_s:.0} req/s), parse {parse_speedup:.2}x \
+         ({parse_mb_s:.1} MB/s), binfmt load {load_speedup:.1}x vs CLF re-parse"
+    );
+
+    let per_workload = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"requests\": {}, \"clf_bytes\": {}, \
+                 \"gen_before_ms\": {:.1}, \"gen_serial_ms\": {:.1}, \"gen_parallel_ms\": {:.1}, \
+                 \"gen_speedup\": {:.3}, \"parse_before_ms\": {:.1}, \"parse_after_ms\": {:.1}, \
+                 \"parse_speedup\": {:.3}, \"parse_mb_s\": {:.1}, \"binfmt_load_ms\": {:.2}, \
+                 \"load_speedup\": {:.1}}}",
+                r.workload,
+                r.requests,
+                r.clf_bytes,
+                r.gen_before_ms,
+                r.gen_serial_ms,
+                r.gen_parallel_ms,
+                r.gen_before_ms / r.gen_parallel_ms,
+                r.parse_before_ms,
+                r.parse_after_ms,
+                r.parse_before_ms / r.parse_after_ms,
+                r.clf_bytes as f64 / 1e6 / (r.parse_after_ms / 1e3),
+                r.binfmt_load_ms,
+                r.parse_after_ms / r.binfmt_load_ms,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": \"bench_ingest_v1\",\n  \"scale\": {scale},\n  \"seed\": {SEED},\n  \
+         \"threads\": {},\n  \"reps\": {REPS},\n  \
+         \"gen_before\": \"seed pipeline: global RNG, string RawRequests, Trace::from_raw\",\n  \
+         \"gen_after\": \"per-day event streams folded into interned ids (parallel)\",\n  \
+         \"parse_before\": \"owned RawRequest per line + Trace::from_raw\",\n  \
+         \"parse_after\": \"byte-level zero-allocation parser (Trace::from_clf_bytes)\",\n  \
+         \"load_before\": \"CLF re-parse (parse_after side)\",\n  \
+         \"load_after\": \"memory-mapped .wct load (binfmt::load)\",\n  \
+         \"workloads\": [\n{per_workload}\n  ],\n  \
+         \"total_requests\": {total_requests},\n  \"total_clf_mb\": {total_clf_mb:.1},\n  \
+         \"gen_speedup\": {gen_speedup:.3},\n  \"gen_req_s\": {gen_req_s:.0},\n  \
+         \"parse_speedup\": {parse_speedup:.3},\n  \"parse_mb_s\": {parse_mb_s:.1},\n  \
+         \"load_speedup\": {load_speedup:.1}\n}}\n",
+        rayon::current_num_threads(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(out, json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {out}");
+}

@@ -1,7 +1,7 @@
 //! Before/after benchmark of the single-pass multi-policy engine.
 //!
 //! Replays the Experiment 2 sweep (the full 36-policy design of Table 5)
-//! on every workload at scale 0.1, two ways:
+//! on every workload at `--scale` (default 0.1), two ways:
 //!
 //! * **before** — the seed architecture: one full trace pass per policy,
 //!   a SipHash `HashMap` document store (`Cache<HashStore>` driven by
@@ -23,7 +23,7 @@ use webcache_core::sim::{max_needed, simulate, MultiSim};
 use webcache_experiments::runner::WORKLOADS;
 use webcache_experiments::Ctx;
 
-const SCALE: f64 = 0.1;
+const DEFAULT_SCALE: f64 = 0.1;
 const SEED: u64 = 1;
 const CACHE_FRACTION: f64 = 0.1;
 /// Runs per side per workload; reps alternate before/after so slow phases
@@ -38,9 +38,27 @@ struct WorkloadTiming {
 }
 
 fn main() {
+    let mut scale = DEFAULT_SCALE;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a number in (0, 1]");
+            }
+            other => {
+                eprintln!("usage: sweep [--scale F]  (unknown argument {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(scale > 0.0 && scale <= 1.0, "scale out of range: {scale}");
+
     let specs: Vec<KeySpec> = KeySpec::all36(0);
     let n_policies = specs.len();
-    let ctx = Ctx::with_scale(SCALE, SEED);
+    let ctx = Ctx::with_scale(scale, SEED);
     let mut rows: Vec<WorkloadTiming> = Vec::new();
 
     for workload in WORKLOADS {
@@ -125,7 +143,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": \"bench_sweep_v1\",\n  \"scale\": {SCALE},\n  \"seed\": {SEED},\n  \
+        "{{\n  \"schema\": \"bench_sweep_v1\",\n  \"scale\": {scale},\n  \"seed\": {SEED},\n  \
          \"cache_fraction\": {CACHE_FRACTION},\n  \"policy_set\": \"All36\",\n  \
          \"policies\": {n_policies},\n  \"threads\": {},\n  \
          \"before\": \"serial per-policy passes, SipHash HashMap doc+rank stores\",\n  \

@@ -18,6 +18,7 @@
 use webcache_core::cache::DocMeta;
 use webcache_core::policy::{KeySpec, RemovalPolicy};
 use webcache_trace::{Timestamp, Trace, UrlId};
+use webcache_workload::WorkloadProfile;
 
 /// Ablation D1 baseline: full re-sort at each victim selection, `O(n log
 /// n)` per eviction instead of `O(log n)` per update.
@@ -130,6 +131,390 @@ impl RemovalPolicy for BaselineSortedPolicy {
     }
 }
 
+/// Seed-pipeline CLF ingestion, kept as the *before* side of the `ingest`
+/// benchmark: every log line becomes an owned [`webcache_trace::RawRequest`]
+/// (a heap-allocated client and URL `String` each), and the whole vector is
+/// re-sorted and re-interned through `Trace::from_raw` — exactly the
+/// allocation profile the byte-level parser replaced.
+pub fn baseline_parse_clf(name: &str, text: &str, epoch: i64) -> (Trace, usize) {
+    let mut raws = Vec::new();
+    let mut bad = 0usize;
+    for line in text.lines() {
+        if line.bytes().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        match webcache_trace::clf::parse_line(line, epoch) {
+            Ok(r) => raws.push(r),
+            Err(_) => bad += 1,
+        }
+    }
+    (Trace::from_raw(name, &raws), bad)
+}
+
+/// Seed-pipeline expected-distinct count: recomputes `powf` for every rank
+/// on every evaluation, the cost [`webcache_workload::dist`]'s cached
+/// weight table eliminated.
+fn baseline_expected_distinct(universe: usize, alpha: f64, n_draws: u64) -> f64 {
+    if universe == 0 || n_draws == 0 {
+        return 0.0;
+    }
+    let h: f64 = (1..=universe).map(|i| 1.0 / (i as f64).powf(alpha)).sum();
+    let n = n_draws as f64;
+    (1..=universe)
+        .map(|i| {
+            let p = 1.0 / ((i as f64).powf(alpha) * h);
+            1.0 - (n * (1.0 - p).ln()).exp()
+        })
+        .sum()
+}
+
+/// Seed-pipeline universe-size calibration (same search, the seed's
+/// per-probe `powf` expectation sum).
+fn baseline_calibrate_universe(alpha: f64, n_draws: u64, target_distinct: u64) -> usize {
+    let target = target_distinct as f64;
+    let mut lo = target_distinct as usize;
+    let mut hi = lo.max(16);
+    while baseline_expected_distinct(hi, alpha, n_draws) < target {
+        if hi as u64 > n_draws * 64 {
+            return hi;
+        }
+        hi *= 2;
+    }
+    while hi - lo > lo / 128 + 1 {
+        let mid = lo + (hi - lo) / 2;
+        if baseline_expected_distinct(mid, alpha, n_draws) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Seed-era document spec: URL text built eagerly for every document,
+/// requested or not.
+struct BaselineUrlSpec {
+    url: String,
+    doc_type: webcache_trace::DocType,
+    base_size: u64,
+}
+
+/// Seed-era universe: eager URL strings (the lazy [`webcache_workload::Universe::url_of`]
+/// replaced them).
+struct BaselineUniverse {
+    urls: Vec<BaselineUrlSpec>,
+    base_count: usize,
+}
+
+/// Seed-pipeline universe build: a single sequential RNG over all ranks
+/// (the parallel build replaced it with fixed chunk streams), a URL string
+/// and the domain string allocated per document (the lazy `url_of`
+/// replaced them), and calibration weights recomputed with one `powf` per
+/// (type, rank) visit.
+fn baseline_build_calibrated(
+    profile: &WorkloadProfile,
+    base: usize,
+    fresh: usize,
+    base_draws: u64,
+    fresh_draws: u64,
+    seed: u64,
+) -> BaselineUniverse {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use webcache_trace::DocType;
+    use webcache_workload::dist::{SizeDist, ZipfSampler};
+    use webcache_workload::TypeSpec;
+
+    fn extension(t: DocType) -> &'static str {
+        match t {
+            DocType::Graphics => "gif",
+            DocType::Text => "html",
+            DocType::Audio => "au",
+            DocType::Video => "mpg",
+            DocType::Cgi => "cgi",
+            DocType::Unknown => "ps",
+        }
+    }
+
+    fn stratified_types(types: &[TypeSpec], n: usize) -> Vec<DocType> {
+        let mut counts = vec![0f64; types.len()];
+        let mut out = Vec::with_capacity(n);
+        for rank in 0..n {
+            let mut best = 0;
+            let mut best_deficit = f64::MIN;
+            for (i, t) in types.iter().enumerate() {
+                let deficit = t.ref_share * (rank + 1) as f64 - counts[i];
+                if deficit > best_deficit {
+                    best_deficit = deficit;
+                    best = i;
+                }
+            }
+            counts[best] += 1.0;
+            out.push(types[best].doc_type);
+        }
+        out
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    let server_sampler = ZipfSampler::new(profile.servers, profile.server_alpha);
+    let size_dists: Vec<(DocType, SizeDist)> = profile
+        .types
+        .iter()
+        .filter(|t| t.ref_share > 0.0)
+        .map(|t| {
+            let mean = t
+                .mean_size(profile.total_requests, profile.total_bytes)
+                .max(64.0);
+            (t.doc_type, SizeDist::with_mean(mean, t.sigma))
+        })
+        .collect();
+    let usable: Vec<TypeSpec> = profile
+        .types
+        .iter()
+        .filter(|t| t.ref_share > 0.0)
+        .copied()
+        .collect();
+
+    let mut urls = Vec::with_capacity(base + fresh);
+    for (offset, count) in [(0usize, base), (base, fresh)] {
+        let types = stratified_types(&usable, count);
+        for (i, doc_type) in types.into_iter().enumerate() {
+            let rank = offset + i;
+            let server = if profile.audio_on_one_server && doc_type == DocType::Audio {
+                0
+            } else {
+                server_sampler.sample(&mut rng)
+            };
+            let dist = size_dists
+                .iter()
+                .find(|(t, _)| *t == doc_type)
+                .map(|(_, d)| *d)
+                .expect("every assigned type has a distribution");
+            let base_size = dist.sample(&mut rng);
+            let url = format!(
+                "http://server{server}.{}.edu/doc{rank}.{}",
+                profile.name.to_ascii_lowercase().replace('@', "-"),
+                extension(doc_type)
+            );
+            urls.push(BaselineUrlSpec {
+                url,
+                doc_type,
+                base_size,
+            });
+        }
+    }
+    let mut u = BaselineUniverse {
+        urls,
+        base_count: base,
+    };
+
+    // Per-type byte-share rescaling, one powf per (type, rank) visit.
+    let total_draws = (base_draws + fresh_draws).max(1);
+    for (offset, count, draws) in [(0usize, base, base_draws), (base, fresh, fresh_draws)] {
+        if count == 0 || draws == 0 {
+            continue;
+        }
+        let h: f64 = (1..=count)
+            .map(|i| (i as f64).powf(-profile.zipf_alpha))
+            .sum();
+        let weight = |i: usize| ((i + 1) as f64).powf(-profile.zipf_alpha) / h * draws as f64;
+        for t in &profile.types {
+            if t.ref_share <= 0.0 {
+                continue;
+            }
+            let target =
+                t.byte_share * profile.total_bytes as f64 * (draws as f64 / total_draws as f64);
+            let realized: f64 = u.urls[offset..offset + count]
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.doc_type == t.doc_type)
+                .map(|(i, s)| weight(i) * s.base_size as f64)
+                .sum();
+            if realized <= 0.0 {
+                continue;
+            }
+            let factor = target / realized;
+            for (_, s) in u.urls[offset..offset + count]
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, s)| s.doc_type == t.doc_type)
+            {
+                s.base_size = ((s.base_size as f64 * factor) as u64).max(32);
+            }
+        }
+    }
+    u
+}
+
+/// Seed-pipeline workload generation, kept as the *before* side of the
+/// `ingest` benchmark: one global RNG threaded through every day (draws
+/// short-circuit on cross-day document state, so days cannot be drawn
+/// independently), a sequential `powf`-heavy calibration and universe
+/// build, a `format!`-allocated client string and a cloned URL string per
+/// raw entry, and a full sort + re-intern pass through `Trace::from_raw`.
+/// Behaviour matches the seed generator; the event-based generator
+/// replaced it with per-day streams folded into interned ids.
+pub fn baseline_generate(profile: &WorkloadProfile, seed: u64) -> Trace {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use webcache_trace::RawRequest;
+    use webcache_workload::dist::{diurnal_second, ZipfSampler};
+    use webcache_workload::Universe;
+
+    struct UrlState {
+        seen: bool,
+        size: u64,
+        last_modified: u64,
+    }
+
+    profile.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wsum: f64 = profile.day_weights.iter().sum();
+    let mut day_requests: Vec<u64> = profile
+        .day_weights
+        .iter()
+        .map(|w| (profile.total_requests as f64 * w / wsum).round() as u64)
+        .collect();
+    let assigned: u64 = day_requests.iter().sum();
+    let last_active = day_requests
+        .iter()
+        .rposition(|&c| c > 0)
+        .expect("validate() guarantees an active day");
+    let c = &mut day_requests[last_active];
+    *c = (*c + profile.total_requests)
+        .saturating_sub(assigned)
+        .max(1);
+
+    let fresh_draws: u64 = profile.fresh.map_or(0, |f| {
+        day_requests[f.start_day as usize..]
+            .iter()
+            .map(|&n| (n as f64 * f.prob) as u64)
+            .sum()
+    });
+    let base_draws = profile.total_requests - fresh_draws;
+    let base_size = baseline_calibrate_universe(
+        profile.zipf_alpha,
+        base_draws,
+        profile.target_unique_urls.min(base_draws),
+    );
+    let fresh_size = profile.fresh.map_or(0, |f| {
+        baseline_calibrate_universe(
+            profile.zipf_alpha,
+            fresh_draws.max(1),
+            f.target_unique.min(fresh_draws.max(1)),
+        )
+    });
+    let universe = baseline_build_calibrated(
+        profile,
+        base_size,
+        fresh_size,
+        base_draws,
+        fresh_draws,
+        seed,
+    );
+    let base_sampler = ZipfSampler::new(base_size, profile.zipf_alpha);
+    let fresh_sampler = (fresh_size > 0).then(|| ZipfSampler::new(fresh_size, profile.zipf_alpha));
+    let review_sampler = profile.review.map(|r| {
+        let top = ((base_size as f64 * r.top_fraction) as usize).max(1);
+        ZipfSampler::new(top, profile.zipf_alpha)
+    });
+
+    let mut state: Vec<UrlState> = universe
+        .urls
+        .iter()
+        .map(|u| UrlState {
+            seen: false,
+            size: u.base_size,
+            last_modified: 0,
+        })
+        .collect();
+
+    let mut raws: Vec<RawRequest> = Vec::with_capacity(profile.total_requests as usize);
+    for (day, &n_d) in day_requests.iter().enumerate() {
+        if n_d == 0 {
+            continue;
+        }
+        let day = day as u64;
+        let working_set: Option<Vec<usize>> = profile.classroom.map(|c| {
+            let sampler = match (&review_sampler, profile.review) {
+                (Some(rs), Some(r)) if day >= r.start_day => rs,
+                _ => &base_sampler,
+            };
+            let mut set = std::collections::HashSet::new();
+            while set.len() < c.working_set_size {
+                set.insert(sampler.sample(&mut rng));
+            }
+            set.into_iter().collect()
+        });
+        let mut times: Vec<u64> = (0..n_d)
+            .map(|_| day * webcache_trace::SECONDS_PER_DAY + diurnal_second(&mut rng))
+            .collect();
+        times.sort_unstable();
+        for time in times {
+            let idx = 'pick: {
+                if let (Some(f), Some(fs)) = (profile.fresh, &fresh_sampler) {
+                    if day >= f.start_day && rng.gen::<f64>() < f.prob {
+                        break 'pick universe.base_count + fs.sample(&mut rng);
+                    }
+                }
+                if let (Some(c), Some(set)) = (profile.classroom, &working_set) {
+                    if rng.gen::<f64>() < c.in_set_prob {
+                        break 'pick set[rng.gen_range(0..set.len())];
+                    }
+                }
+                if let (Some(r), Some(rs)) = (profile.review, &review_sampler) {
+                    if day >= r.start_day && rng.gen::<f64>() < r.review_prob {
+                        break 'pick rs.sample(&mut rng);
+                    }
+                }
+                base_sampler.sample(&mut rng)
+            };
+            let st = &mut state[idx];
+            if st.seen && rng.gen::<f64>() < profile.p_size_change {
+                st.size = Universe::modified_size(universe.urls[idx].base_size, st.size, &mut rng);
+                st.last_modified = time;
+            } else if st.seen && rng.gen::<f64>() < profile.p_same_size_mod {
+                st.last_modified = time;
+            }
+            let logged_size = if st.seen && rng.gen::<f64>() < profile.p_zero_size {
+                0
+            } else {
+                st.size
+            };
+            st.seen = true;
+            let spec = &universe.urls[idx];
+            raws.push(RawRequest {
+                time,
+                client: format!(
+                    "client{}.clients.example",
+                    rng.gen_range(0..profile.clients)
+                ),
+                url: spec.url.clone(),
+                status: 200,
+                size: logged_size,
+                last_modified: profile.record_last_modified.then_some(st.last_modified),
+            });
+            if rng.gen::<f64>() < profile.p_error {
+                let status = *[304u16, 404, 403, 500]
+                    .get(rng.gen_range(0..4))
+                    .expect("index in range");
+                raws.push(RawRequest {
+                    time,
+                    client: format!(
+                        "client{}.clients.example",
+                        rng.gen_range(0..profile.clients)
+                    ),
+                    url: spec.url.clone(),
+                    status,
+                    size: 0,
+                    last_modified: None,
+                });
+            }
+        }
+    }
+    Trace::from_raw(&profile.name, &raws)
+}
+
 /// A deterministic benchmark trace: `workload` at `scale`, fixed seed.
 pub fn bench_trace(workload: &str, scale: f64) -> Trace {
     let profile = webcache_workload::profiles::by_name(workload)
@@ -177,6 +562,47 @@ mod tests {
                 "{key:?}: seed replica diverges"
             );
         }
+    }
+
+    /// The ingest "before" sides must be *behaviourally equivalent* to the
+    /// paths that replaced them, or the throughput comparison is
+    /// meaningless. The string parser must match the byte parser exactly;
+    /// the seed generator draws a different RNG stream, so it is held to
+    /// the same statistical targets instead.
+    #[test]
+    fn baseline_parse_matches_byte_parser() {
+        let epoch = 811_296_000;
+        let trace = bench_trace("G", 0.01);
+        let text = trace.to_clf(epoch);
+        let (a, bad_a) = baseline_parse_clf("G", &text, epoch);
+        let (b, bad_b) = Trace::from_clf_bytes("G", text.as_bytes(), epoch);
+        assert_eq!(bad_a, bad_b);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.validation, b.validation);
+    }
+
+    #[test]
+    fn baseline_generate_hits_the_same_targets() {
+        // Scale 0.1: with lognormal sizes the byte total is tail-dominated,
+        // so at smaller scales a single hot draw can swing the ratio past
+        // any reasonable bound.
+        let profile = webcache_workload::profiles::by_name("G")
+            .expect("known workload")
+            .scaled(0.1);
+        let old = baseline_generate(&profile, 7);
+        let new = webcache_workload::generate(&profile, 7);
+        let tol = profile.total_requests as f64 * 0.02;
+        assert!(
+            (old.len() as f64 - new.len() as f64).abs() < tol,
+            "request counts diverged: {} vs {}",
+            old.len(),
+            new.len()
+        );
+        let ratio = old.total_bytes() as f64 / new.total_bytes() as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "byte volumes diverged: ratio {ratio}"
+        );
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! constants, and parallel policy sweeps.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use webcache_core::policy::RemovalPolicy;
 use webcache_core::sim::{MultiSim, SimResult};
-use webcache_trace::Trace;
+use webcache_trace::{binfmt, Trace};
 use webcache_workload::profiles;
+
+/// Environment variable naming a directory of packed `.wct` traces. When
+/// set, [`Ctx`] memoises generated traces to disk there and memory-maps
+/// them back on later runs instead of regenerating.
+pub const PACK_DIR_ENV: &str = "WEBCACHE_PACK_DIR";
 
 /// The paper's published MaxNeeded values in bytes (section 4.1): "they
 /// must have the following sizes: 221 Mbytes for workload C, 413 Mbytes
@@ -27,6 +33,7 @@ pub const WORKLOADS: [&str; 5] = ["U", "G", "C", "BR", "BL"];
 pub struct Ctx {
     scale: f64,
     seed: u64,
+    pack_dir: Option<PathBuf>,
     traces: Mutex<HashMap<String, Arc<Trace>>>,
 }
 
@@ -37,12 +44,20 @@ impl Ctx {
     }
 
     /// Context generating traces at `scale` (0 < scale ≤ 1) of the
-    /// published volumes, seeded deterministically.
+    /// published volumes, seeded deterministically. Honours
+    /// [`PACK_DIR_ENV`] for disk-level trace caching.
     pub fn with_scale(scale: f64, seed: u64) -> Ctx {
+        let pack_dir = std::env::var_os(PACK_DIR_ENV).map(PathBuf::from);
+        Ctx::with_pack_dir(scale, seed, pack_dir)
+    }
+
+    /// Context with an explicit packed-trace cache directory (or none).
+    pub fn with_pack_dir(scale: f64, seed: u64, pack_dir: Option<PathBuf>) -> Ctx {
         assert!(scale > 0.0 && scale <= 1.0);
         Ctx {
             scale,
             seed,
+            pack_dir,
             traces: Mutex::new(HashMap::new()),
         }
     }
@@ -52,19 +67,50 @@ impl Ctx {
         self.scale
     }
 
+    /// Path of the packed cache file for a workload under this context's
+    /// `(scale, seed)`, if a pack directory is configured. Scale is keyed
+    /// in parts-per-million so distinct scales never collide in one file.
+    fn pack_path(&self, name: &str) -> Option<PathBuf> {
+        let dir = self.pack_dir.as_ref()?;
+        let ppm = (self.scale * 1e6).round() as u64;
+        Some(dir.join(format!("{name}-s{ppm}-r{}.wct", self.seed)))
+    }
+
     /// The (possibly scaled) trace for a workload, generated on first use.
+    ///
+    /// Resolution order: in-memory cache, then the packed `.wct` file in
+    /// the pack directory (memory-mapped, ~an order of magnitude faster
+    /// than regeneration), then the generator — whose output is packed to
+    /// disk for the next run. A stale or corrupt pack file is regenerated
+    /// and overwritten, never trusted.
     pub fn trace(&self, name: &str) -> Arc<Trace> {
         if let Some(t) = self.traces.lock().expect("poisoned").get(name) {
             return Arc::clone(t);
         }
         let profile =
             profiles::by_name(name).unwrap_or_else(|| panic!("unknown workload {name:?}"));
-        let profile = if self.scale < 1.0 {
-            profile.scaled(self.scale)
-        } else {
-            profile
-        };
-        let trace = Arc::new(webcache_workload::generate(&profile, self.seed));
+        let pack_path = self.pack_path(name);
+        let trace = pack_path
+            .as_deref()
+            .filter(|p| p.exists())
+            .and_then(|p| binfmt::load(p).ok())
+            .filter(|t| t.name == name)
+            .map(Arc::new)
+            .unwrap_or_else(|| {
+                let profile = if self.scale < 1.0 {
+                    profile.scaled(self.scale)
+                } else {
+                    profile
+                };
+                let t = webcache_workload::generate(&profile, self.seed);
+                if let Some(p) = &pack_path {
+                    // Cache for the next run; failure to write (read-only
+                    // dir, missing parent) only costs regeneration later.
+                    let _ = std::fs::create_dir_all(p.parent().expect("file path has parent"))
+                        .and_then(|()| binfmt::save(&t, p));
+                }
+                Arc::new(t)
+            });
         self.traces
             .lock()
             .expect("poisoned")
@@ -112,6 +158,27 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn ctx_rejects_unknown_workloads() {
         Ctx::with_scale(0.01, 1).trace("ZZ");
+    }
+
+    #[test]
+    fn ctx_packs_traces_to_disk_and_reloads_them() {
+        let dir = std::env::temp_dir().join(format!("wct_ctx_test_{}", std::process::id()));
+        let ctx = Ctx::with_pack_dir(0.01, 9, Some(dir.clone()));
+        let a = ctx.trace("G");
+        let packed = dir.join("G-s10000-r9.wct");
+        assert!(packed.exists(), "pack file not written");
+        // A fresh context (cold memory cache) must load the packed file
+        // and see the identical trace.
+        let ctx2 = Ctx::with_pack_dir(0.01, 9, Some(dir.clone()));
+        let b = ctx2.trace("G");
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.validation, b.validation);
+        // A corrupt pack file is regenerated, not trusted.
+        std::fs::write(&packed, b"garbage").unwrap();
+        let ctx3 = Ctx::with_pack_dir(0.01, 9, Some(dir.clone()));
+        let c = ctx3.trace("G");
+        assert_eq!(a.requests, c.requests);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

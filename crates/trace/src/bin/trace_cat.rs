@@ -1,0 +1,66 @@
+//! `trace-cat` — print a packed `.wct` binary trace back as Common Log
+//! Format text (or a one-line summary), the inverse of `trace-pack`.
+//!
+//! ```text
+//! trace-cat <in.wct> [--epoch N] [--summary]
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use webcache_trace::binfmt;
+
+/// Unix time of 1995-09-17 00:00:00 UTC — the BR/BL collection start.
+const DEFAULT_EPOCH: i64 = 811_296_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut epoch = DEFAULT_EPOCH;
+    let mut summary = false;
+    let mut input: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--epoch" => {
+                epoch = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_EPOCH)
+            }
+            "--summary" => summary = true,
+            p => input = Some(PathBuf::from(p)),
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: trace-cat <in.wct> [--epoch N] [--summary]");
+        std::process::exit(2);
+    };
+    let trace = match binfmt::load(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-cat: cannot load {}: {e}", input.display());
+            std::process::exit(1);
+        }
+    };
+    if summary {
+        println!(
+            "{}: {} requests over {} days, {:.1} MB transferred, {} unique URLs, \
+             {} servers, {} clients, size-change fraction {:.4}",
+            trace.name,
+            trace.len(),
+            trace.duration_days(),
+            trace.total_bytes() as f64 / 1e6,
+            trace.interner.url_count(),
+            trace.interner.server_count(),
+            trace.interner.client_count(),
+            trace.validation.size_change_fraction(),
+        );
+        return;
+    }
+    let text = trace.to_clf(epoch);
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if lock.write_all(text.as_bytes()).is_err() {
+        // Broken pipe (e.g. piped into `head`) is not an error.
+        std::process::exit(0);
+    }
+}

@@ -1,0 +1,68 @@
+//! `trace-pack` — convert a Common Log Format file into the packed `.wct`
+//! binary trace format (validated requests + interner string table), so
+//! that repeated experiment runs skip parsing and validation entirely.
+//!
+//! ```text
+//! trace-pack <in.log> <out.wct> [--epoch N] [--name S]
+//! ```
+//!
+//! `--epoch` is the absolute Unix time of trace time zero (defaults to
+//! 1995-09-17 00:00:00 UTC, the BR/BL collection start); `--name` sets the
+//! stored workload name (defaults to the input file stem).
+
+use std::path::PathBuf;
+use webcache_trace::{binfmt, Trace};
+
+/// Unix time of 1995-09-17 00:00:00 UTC — the BR/BL collection start.
+const DEFAULT_EPOCH: i64 = 811_296_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut epoch = DEFAULT_EPOCH;
+    let mut name: Option<String> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--epoch" => {
+                epoch = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_EPOCH)
+            }
+            "--name" => name = it.next(),
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+    let [input, output] = paths.as_slice() else {
+        eprintln!("usage: trace-pack <in.log> <out.wct> [--epoch N] [--name S]");
+        std::process::exit(2);
+    };
+    let name = name.unwrap_or_else(|| {
+        input
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string())
+    });
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("trace-pack: cannot read {}: {e}", input.display());
+            std::process::exit(1);
+        }
+    };
+    let (trace, bad) = Trace::from_clf_bytes(&name, &bytes, epoch);
+    if let Err(e) = binfmt::save(&trace, output) {
+        eprintln!("trace-pack: cannot write {}: {e}", output.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "packed {} valid requests ({} days, {} unique URLs, {} unparseable lines skipped) \
+         into {}",
+        trace.len(),
+        trace.duration_days(),
+        trace.interner.url_count(),
+        bad,
+        output.display()
+    );
+}

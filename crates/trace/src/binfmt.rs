@@ -1,0 +1,436 @@
+//! Compact binary trace format (`.wct`), for ingest that keeps up with the
+//! simulation engine.
+//!
+//! Re-parsing CLF text costs a tokenizer pass, a time sort and a full
+//! validation replay on every experiment run. A packed trace stores the
+//! *validated* requests — fixed-width little-endian records over interned
+//! ids — plus the interner string table, so loading is a straight decode
+//! with no parsing, sorting or re-validation. Files are written by
+//! [`save`]/[`write_trace`] (and the `trace-pack` CLI) and loaded by
+//! [`load`], which memory-maps the file (`memmap2`) and falls back to a
+//! buffered read if mapping fails; [`read_trace`] decodes any byte slice.
+//!
+//! ## Layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset size  field
+//!      0    4  magic  b"WCT\x01"
+//!      4    2  format version (1)
+//!      6    2  flags (0)
+//!      8    8  request count          (u64)
+//!     16    4  unique URL count       (u32)
+//!     20    4  unique server count    (u32)
+//!     24    4  unique client count    (u32)
+//!     28    4  trace name length      (u32)
+//!     32   48  ValidationStats: accepted, dropped_not_ok,
+//!              dropped_zero_unseen, assigned_last_known,
+//!              size_changes, rereferences (6 × u64)
+//!     80    n  trace name (UTF-8), padded to the next 8-byte boundary
+//!          40  × request count: fixed-width request records
+//!              time u64 | url u32 | client u32 | server u32 |
+//!              doc_type u8 | has_last_modified u8 | pad u16 |
+//!              size u64 | last_modified u64
+//!           …  string tables: URLs, then servers, then clients;
+//!              each string is u32 length + UTF-8 bytes, in id order
+//! ```
+//!
+//! Records sit at an 8-byte-aligned offset so a memory-mapped file can be
+//! scanned with aligned loads; decoding nevertheless uses explicit
+//! little-endian byte reads, so any alignment (and any host endianness)
+//! is correct.
+
+use crate::record::{ClientId, DocType, Interner, Request, ServerId, UrlId};
+use crate::stream::Trace;
+use crate::validate::ValidationStats;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: "WCT" + format generation byte.
+pub const MAGIC: [u8; 4] = *b"WCT\x01";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Size of one fixed-width request record in bytes.
+pub const RECORD_SIZE: usize = 40;
+/// Size of the fixed header in bytes (before the trace name).
+pub const HEADER_SIZE: usize = 80;
+
+/// Error decoding a packed trace.
+#[derive(Debug)]
+pub enum BinError {
+    /// The buffer does not start with the `.wct` magic.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    BadVersion(u16),
+    /// The buffer ended before the announced contents.
+    Truncated,
+    /// A string table entry or the trace name was not valid UTF-8.
+    BadUtf8,
+    /// A request record carried an unknown document-type tag.
+    BadDocType(u8),
+    /// A request record referenced an id beyond its string table.
+    BadId(u32),
+    /// Underlying I/O failure while reading the file.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::BadMagic => write!(f, "not a packed trace (bad magic)"),
+            BinError::BadVersion(v) => write!(f, "unsupported packed-trace version {v}"),
+            BinError::Truncated => write!(f, "packed trace is truncated"),
+            BinError::BadUtf8 => write!(f, "packed trace contains invalid UTF-8"),
+            BinError::BadDocType(t) => write!(f, "unknown document-type tag {t}"),
+            BinError::BadId(id) => write!(f, "record references out-of-table id {id}"),
+            BinError::Io(e) => write!(f, "i/o error reading packed trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<io::Error> for BinError {
+    fn from(e: io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+fn doc_type_tag(t: DocType) -> u8 {
+    DocType::ALL
+        .iter()
+        .position(|&d| d == t)
+        .expect("DocType::ALL covers every variant") as u8
+}
+
+fn doc_type_from_tag(tag: u8) -> Result<DocType, BinError> {
+    DocType::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(BinError::BadDocType(tag))
+}
+
+/// Serialise a trace into the packed format.
+pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    let name = trace.name.as_bytes();
+    let mut header = [0u8; HEADER_SIZE];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    // flags at 6..8 stay zero.
+    header[8..16].copy_from_slice(&(trace.requests.len() as u64).to_le_bytes());
+    header[16..20].copy_from_slice(&(trace.interner.url_count() as u32).to_le_bytes());
+    header[20..24].copy_from_slice(&(trace.interner.server_count() as u32).to_le_bytes());
+    header[24..28].copy_from_slice(&(trace.interner.client_count() as u32).to_le_bytes());
+    header[28..32].copy_from_slice(&(name.len() as u32).to_le_bytes());
+    let v = &trace.validation;
+    for (i, field) in [
+        v.accepted,
+        v.dropped_not_ok,
+        v.dropped_zero_unseen,
+        v.assigned_last_known,
+        v.size_changes,
+        v.rereferences,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        header[32 + i * 8..40 + i * 8].copy_from_slice(&field.to_le_bytes());
+    }
+    w.write_all(&header)?;
+    w.write_all(name)?;
+    let pad = (8 - (HEADER_SIZE + name.len()) % 8) % 8;
+    w.write_all(&[0u8; 8][..pad])?;
+
+    let mut rec = [0u8; RECORD_SIZE];
+    for r in &trace.requests {
+        rec[0..8].copy_from_slice(&r.time.to_le_bytes());
+        rec[8..12].copy_from_slice(&r.url.0.to_le_bytes());
+        rec[12..16].copy_from_slice(&r.client.0.to_le_bytes());
+        rec[16..20].copy_from_slice(&r.server.0.to_le_bytes());
+        rec[20] = doc_type_tag(r.doc_type);
+        rec[21] = r.last_modified.is_some() as u8;
+        rec[22..24].copy_from_slice(&[0u8; 2]);
+        rec[24..32].copy_from_slice(&r.size.to_le_bytes());
+        rec[32..40].copy_from_slice(&r.last_modified.unwrap_or(0).to_le_bytes());
+        w.write_all(&rec)?;
+    }
+
+    fn write_table<'a, W: Write>(
+        w: &mut W,
+        table: impl Iterator<Item = Option<&'a str>>,
+    ) -> io::Result<()> {
+        for s in table {
+            let s = s.expect("interner ids are dense").as_bytes();
+            w.write_all(&(s.len() as u32).to_le_bytes())?;
+            w.write_all(s)?;
+        }
+        Ok(())
+    }
+    let i = &trace.interner;
+    write_table(w, (0..i.url_count()).map(|n| i.url_text(UrlId(n as u32))))?;
+    write_table(
+        w,
+        (0..i.server_count()).map(|n| i.server_text(ServerId(n as u32))),
+    )?;
+    write_table(
+        w,
+        (0..i.client_count()).map(|n| i.client_text(ClientId(n as u32))),
+    )?;
+    Ok(())
+}
+
+/// Serialise a trace into an owned packed buffer.
+pub fn to_bytes(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_SIZE + trace.requests.len() * RECORD_SIZE);
+    write_trace(trace, &mut out).expect("Vec<u8> writes are infallible");
+    out
+}
+
+/// Write a trace to `path` through a buffered writer.
+pub fn save(trace: &Trace, path: &Path) -> io::Result<()> {
+    let mut w = io::BufWriter::new(File::create(path)?);
+    write_trace(trace, &mut w)?;
+    w.flush()
+}
+
+/// Byte-slice reader with explicit little-endian decoding.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        let end = self.pos.checked_add(n).ok_or(BinError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(BinError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, BinError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, BinError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, BinError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, BinError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| BinError::BadUtf8)
+    }
+}
+
+/// Decode a packed trace from a byte slice (a memory map or an owned
+/// buffer read from disk).
+pub fn read_trace(bytes: &[u8]) -> Result<Trace, BinError> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = c.u16()?;
+    if version != VERSION {
+        return Err(BinError::BadVersion(version));
+    }
+    let _flags = c.u16()?;
+    let n_requests = c.u64()? as usize;
+    let n_urls = c.u32()?;
+    let n_servers = c.u32()?;
+    let n_clients = c.u32()?;
+    let name_len = c.u32()? as usize;
+    let validation = ValidationStats {
+        accepted: c.u64()?,
+        dropped_not_ok: c.u64()?,
+        dropped_zero_unseen: c.u64()?,
+        assigned_last_known: c.u64()?,
+        size_changes: c.u64()?,
+        rereferences: c.u64()?,
+    };
+    let name = String::from_utf8(c.take(name_len)?.to_vec()).map_err(|_| BinError::BadUtf8)?;
+    let pad = (8 - (HEADER_SIZE + name_len) % 8) % 8;
+    c.take(pad)?;
+
+    let record_bytes = n_requests
+        .checked_mul(RECORD_SIZE)
+        .ok_or(BinError::Truncated)?;
+    let records = c.take(record_bytes)?;
+    let mut requests = Vec::with_capacity(n_requests);
+    for rec in records.chunks_exact(RECORD_SIZE) {
+        let url = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+        let client = u32::from_le_bytes(rec[12..16].try_into().unwrap());
+        let server = u32::from_le_bytes(rec[16..20].try_into().unwrap());
+        if url >= n_urls {
+            return Err(BinError::BadId(url));
+        }
+        if server >= n_servers {
+            return Err(BinError::BadId(server));
+        }
+        if client >= n_clients {
+            return Err(BinError::BadId(client));
+        }
+        let has_lm = rec[21] != 0;
+        requests.push(Request {
+            time: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            client: ClientId(client),
+            server: ServerId(server),
+            url: UrlId(url),
+            size: u64::from_le_bytes(rec[24..32].try_into().unwrap()),
+            doc_type: doc_type_from_tag(rec[20])?,
+            last_modified: has_lm.then(|| u64::from_le_bytes(rec[32..40].try_into().unwrap())),
+        });
+    }
+
+    let mut read_table =
+        |n: u32| -> Result<Vec<String>, BinError> { (0..n).map(|_| c.string()).collect() };
+    let urls = read_table(n_urls)?;
+    let servers = read_table(n_servers)?;
+    let clients = read_table(n_clients)?;
+    Ok(Trace {
+        name,
+        requests,
+        interner: Interner::from_parts(urls, servers, clients),
+        validation,
+    })
+}
+
+/// Load a packed trace from `path`, memory-mapping the file when possible
+/// and falling back to a buffered read when mapping fails.
+pub fn load(path: &Path) -> Result<Trace, BinError> {
+    let file = File::open(path)?;
+    // Safety: the map is read immediately and dropped before returning;
+    // the usual memmap caveat (no concurrent truncation) applies only for
+    // the duration of the decode.
+    match unsafe { memmap2::Mmap::map(&file) } {
+        Ok(map) => read_trace(&map),
+        Err(_) => {
+            let mut buf = Vec::new();
+            io::BufReader::new(file).read_to_end(&mut buf)?;
+            read_trace(&buf)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RawRequest;
+
+    fn sample_trace() -> Trace {
+        let raws = vec![
+            RawRequest {
+                time: 5,
+                client: "c1.example".into(),
+                url: "http://a.example/x.gif".into(),
+                status: 200,
+                size: 120,
+                last_modified: Some(2),
+            },
+            RawRequest {
+                time: 9,
+                client: "c2.example".into(),
+                url: "http://b.example/y.html".into(),
+                status: 200,
+                size: 999,
+                last_modified: None,
+            },
+            RawRequest {
+                time: 11,
+                client: "c1.example".into(),
+                url: "http://a.example/x.gif".into(),
+                status: 200,
+                size: 0, // assigned last-known size by validation
+                last_modified: None,
+            },
+            RawRequest {
+                time: 12,
+                client: "c1.example".into(),
+                url: "http://a.example/x.gif".into(),
+                status: 404, // dropped, but counted in validation stats
+                size: 0,
+                last_modified: None,
+            },
+        ];
+        Trace::from_raw("sample", &raws)
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let t = sample_trace();
+        let bytes = to_bytes(&t);
+        let back = read_trace(&bytes).unwrap();
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.requests, t.requests);
+        assert_eq!(back.validation, t.validation);
+        assert_eq!(back.interner.url_count(), t.interner.url_count());
+        for i in 0..t.interner.url_count() {
+            let id = UrlId(i as u32);
+            assert_eq!(back.interner.url_text(id), t.interner.url_text(id));
+        }
+        for i in 0..t.interner.client_count() {
+            let id = ClientId(i as u32);
+            assert_eq!(back.interner.client_text(id), t.interner.client_text(id));
+        }
+        // The rebuilt index maps resolve text back to the same ids.
+        let mut interner = back.interner.clone();
+        let id = interner.url("http://a.example/x.gif");
+        assert_eq!(Some("http://a.example/x.gif"), interner.url_text(id));
+        assert_eq!(interner.url_count(), back.interner.url_count());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::from_raw("empty", &[]);
+        let back = read_trace(&to_bytes(&t)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.name, "empty");
+    }
+
+    #[test]
+    fn save_and_mmap_load_round_trip() {
+        let t = sample_trace();
+        let path = std::env::temp_dir().join(format!("wct_test_{}.wct", std::process::id()));
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.requests, t.requests);
+        assert_eq!(back.validation, t.validation);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        let t = sample_trace();
+        let bytes = to_bytes(&t);
+        assert!(matches!(read_trace(&[]), Err(BinError::Truncated)));
+        assert!(matches!(
+            read_trace(b"NOPE\x01\x00\x00\x00"),
+            Err(BinError::BadMagic)
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            read_trace(&wrong_version),
+            Err(BinError::BadVersion(99))
+        ));
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(matches!(read_trace(truncated), Err(BinError::Truncated)));
+        // Corrupt a record's doc-type tag (first record starts after the
+        // padded name).
+        let mut bad_tag = bytes.clone();
+        let name_len = t.name.len();
+        let rec_start = HEADER_SIZE + name_len + (8 - (HEADER_SIZE + name_len) % 8) % 8;
+        bad_tag[rec_start + 20] = 200;
+        assert!(matches!(
+            read_trace(&bad_tag),
+            Err(BinError::BadDocType(200))
+        ));
+        // Corrupt a record's URL id beyond the table.
+        let mut bad_id = bytes;
+        bad_id[rec_start + 8..rec_start + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_trace(&bad_id), Err(BinError::BadId(_))));
+    }
+}

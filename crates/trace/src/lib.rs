@@ -9,7 +9,12 @@
 //! * [`record`] — the shared vocabulary types: [`record::Request`],
 //!   [`record::DocType`], interned [`record::UrlId`]s, timestamps.
 //! * [`clf`] — Common Log Format parsing/formatting, including the
-//!   `last-modified=` extension field the paper's BR/BL logs carried.
+//!   `last-modified=` extension field the paper's BR/BL logs carried. The
+//!   parser is byte-level and zero-allocation ([`clf::parse_line_bytes`]).
+//! * [`binfmt`] — the packed `.wct` binary trace format: fixed-width
+//!   little-endian records plus the interner string table, written by
+//!   `trace-pack` and memory-mapped back by [`binfmt::load`] /
+//!   `trace-cat`.
 //! * [`validate`] — the section 1.1 validation rules that turn raw log
 //!   entries into the "valid accesses" every experiment runs on.
 //! * [`stream`] — the [`stream::Trace`] container with per-day iteration.
@@ -18,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod clf;
 pub mod record;
 pub mod stats;
@@ -25,8 +31,8 @@ pub mod stream;
 pub mod validate;
 
 pub use record::{
-    day_of, ClientId, DocType, Interner, RawRequest, Request, ServerId, Timestamp, UrlId,
-    SECONDS_PER_DAY,
+    day_of, ClientId, DocType, Interner, RawRequest, RawRequestRef, Request, ServerId, Timestamp,
+    UrlId, SECONDS_PER_DAY,
 };
 pub use stream::Trace;
 pub use validate::{ValidationStats, Validator};

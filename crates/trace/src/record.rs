@@ -8,8 +8,8 @@
 //! [`crate::stream::Trace`] container owns the [`Interner`] that maps ids
 //! back to URL text.
 
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Seconds since the start of the trace (the trace epoch).
@@ -88,30 +88,62 @@ impl DocType {
     }
 
     /// Classify a URL path by filename extension, following the grouping
-    /// described in section 2.2 of the paper.
+    /// described in section 2.2 of the paper. Allocation-free: comparisons
+    /// are case-insensitive over the raw bytes (this runs once per
+    /// validated request on the trace-ingest path).
     pub fn classify(url: &str) -> DocType {
+        fn eq_ci(a: &[u8], lower: &[u8]) -> bool {
+            a.len() == lower.len()
+                && a.iter()
+                    .zip(lower)
+                    .all(|(x, y)| x.to_ascii_lowercase() == *y)
+        }
+        fn ends_ci(hay: &[u8], lower_suffix: &[u8]) -> bool {
+            hay.len() >= lower_suffix.len()
+                && eq_ci(&hay[hay.len() - lower_suffix.len()..], lower_suffix)
+        }
+        fn contains_ci(hay: &[u8], lower_needle: &[u8]) -> bool {
+            hay.len() >= lower_needle.len()
+                && (0..=hay.len() - lower_needle.len())
+                    .any(|i| eq_ci(&hay[i..i + lower_needle.len()], lower_needle))
+        }
         // Strip any query string before looking at the extension.
-        let path = url.split(['?', '#']).next().unwrap_or(url);
-        let lower = path.to_ascii_lowercase();
-        if lower.contains("/cgi-bin/") || lower.ends_with(".cgi") || lower.ends_with(".pl") {
+        let bytes = url.as_bytes();
+        let end = bytes
+            .iter()
+            .position(|&b| b == b'?' || b == b'#')
+            .unwrap_or(bytes.len());
+        let path = &bytes[..end];
+        if contains_ci(path, b"/cgi-bin/") || ends_ci(path, b".cgi") || ends_ci(path, b".pl") {
             return DocType::Cgi;
         }
-        let ext = match lower.rsplit_once('/') {
-            Some((_, file)) => match file.rsplit_once('.') {
-                Some((_, ext)) => ext.to_string(),
-                // A bare file or directory with no extension serves HTML.
-                None => return DocType::Text,
-            },
+        let file = match path.iter().rposition(|&b| b == b'/') {
+            Some(i) => &path[i + 1..],
             None => return DocType::Unknown,
         };
-        match ext.as_str() {
-            "gif" | "jpg" | "jpeg" | "png" | "xbm" | "bmp" | "tif" | "tiff" | "pbm" | "ppm" => {
-                DocType::Graphics
-            }
-            "html" | "htm" | "txt" | "text" | "shtml" => DocType::Text,
-            "au" | "wav" | "aif" | "aiff" | "snd" | "mp2" | "ra" | "ram" => DocType::Audio,
-            "mpg" | "mpeg" | "mov" | "avi" | "qt" | "fli" => DocType::Video,
-            _ => DocType::Unknown,
+        let ext = match file.iter().rposition(|&b| b == b'.') {
+            Some(i) => &file[i + 1..],
+            // A bare file or directory with no extension serves HTML.
+            None => return DocType::Text,
+        };
+        const GRAPHICS: [&[u8]; 10] = [
+            b"gif", b"jpg", b"jpeg", b"png", b"xbm", b"bmp", b"tif", b"tiff", b"pbm", b"ppm",
+        ];
+        const TEXT: [&[u8]; 5] = [b"html", b"htm", b"txt", b"text", b"shtml"];
+        const AUDIO: [&[u8]; 8] = [
+            b"au", b"wav", b"aif", b"aiff", b"snd", b"mp2", b"ra", b"ram",
+        ];
+        const VIDEO: [&[u8]; 6] = [b"mpg", b"mpeg", b"mov", b"avi", b"qt", b"fli"];
+        if GRAPHICS.iter().any(|e| eq_ci(ext, e)) {
+            DocType::Graphics
+        } else if TEXT.iter().any(|e| eq_ci(ext, e)) {
+            DocType::Text
+        } else if AUDIO.iter().any(|e| eq_ci(ext, e)) {
+            DocType::Audio
+        } else if VIDEO.iter().any(|e| eq_ci(ext, e)) {
+            DocType::Video
+        } else {
+            DocType::Unknown
         }
     }
 }
@@ -174,6 +206,60 @@ impl RawRequest {
     pub fn server_name(&self) -> &str {
         server_of_url(&self.url)
     }
+
+    /// Borrowed view of this entry, for the zero-allocation validation
+    /// path ([`crate::validate::Validator::validate_ref`]).
+    pub fn as_ref(&self) -> RawRequestRef<'_> {
+        RawRequestRef {
+            time: self.time,
+            client: &self.client,
+            url: &self.url,
+            status: self.status,
+            size: self.size,
+            last_modified: self.last_modified,
+        }
+    }
+}
+
+/// A borrowed raw log entry: the same fields as [`RawRequest`], but with
+/// text fields pointing into the buffer the entry was parsed from.
+///
+/// This is what the byte-level CLF parser ([`crate::clf::parse_line_bytes`])
+/// produces — building one allocates nothing, and the validator interns
+/// the borrowed text directly into the trace's [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawRequestRef<'a> {
+    /// Seconds since the trace epoch.
+    pub time: Timestamp,
+    /// Requesting host, as logged.
+    pub client: &'a str,
+    /// Full request URL (`http://server/path`), or origin-form path.
+    pub url: &'a str,
+    /// HTTP status code returned.
+    pub status: u16,
+    /// Size field from the log; zero means the log did not record a size.
+    pub size: u64,
+    /// Optional `Last-Modified` timestamp from the extended log fields.
+    pub last_modified: Option<Timestamp>,
+}
+
+impl<'a> RawRequestRef<'a> {
+    /// The host component of the URL, or `"-"` when the URL is origin-form.
+    pub fn server_name(&self) -> &'a str {
+        server_of_url(self.url)
+    }
+
+    /// Copy the borrowed text into an owned [`RawRequest`].
+    pub fn to_owned(&self) -> RawRequest {
+        RawRequest {
+            time: self.time,
+            client: self.client.to_string(),
+            url: self.url.to_string(),
+            status: self.status,
+            size: self.size,
+            last_modified: self.last_modified,
+        }
+    }
 }
 
 /// Extract the host component of an absolute URL; origin-form URLs map to
@@ -193,17 +279,49 @@ pub fn server_of_url(url: &str) -> &str {
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct Interner {
     urls: Vec<String>,
-    url_index: HashMap<String, UrlId>,
+    url_index: FxHashMap<String, UrlId>,
     servers: Vec<String>,
-    server_index: HashMap<String, ServerId>,
+    server_index: FxHashMap<String, ServerId>,
     clients: Vec<String>,
-    client_index: HashMap<String, ClientId>,
+    client_index: FxHashMap<String, ClientId>,
 }
 
 impl Interner {
     /// Create an empty interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild an interner from its string tables (in id order), as stored
+    /// by the binary trace format. Ids are assigned by position: `urls[i]`
+    /// becomes `UrlId(i)`, and likewise for servers and clients.
+    pub fn from_parts(urls: Vec<String>, servers: Vec<String>, clients: Vec<String>) -> Self {
+        let index = |v: &[String]| -> FxHashMap<String, u32> {
+            v.iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), i as u32))
+                .collect()
+        };
+        let url_index = index(&urls)
+            .into_iter()
+            .map(|(k, v)| (k, UrlId(v)))
+            .collect();
+        let server_index = index(&servers)
+            .into_iter()
+            .map(|(k, v)| (k, ServerId(v)))
+            .collect();
+        let client_index = index(&clients)
+            .into_iter()
+            .map(|(k, v)| (k, ClientId(v)))
+            .collect();
+        Interner {
+            urls,
+            url_index,
+            servers,
+            server_index,
+            clients,
+            client_index,
+        }
     }
 
     /// Intern a URL, returning its stable id.

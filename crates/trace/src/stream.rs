@@ -2,7 +2,7 @@
 //! the interner that names its URLs, servers and clients.
 
 use crate::clf;
-use crate::record::{Interner, RawRequest, Request, SECONDS_PER_DAY};
+use crate::record::{Interner, RawRequest, RawRequestRef, Request, SECONDS_PER_DAY};
 use crate::validate::{ValidationStats, Validator};
 
 /// A complete validated workload trace.
@@ -51,28 +51,48 @@ impl Trace {
     /// Unix time of trace time zero. Returns the trace and the count of
     /// unparseable lines.
     pub fn from_clf(name: &str, text: &str, epoch: i64) -> (Self, usize) {
-        let (raws, bad) = clf::parse_log(text, epoch);
-        (Self::from_raw(name, &raws), bad)
+        Self::from_clf_bytes(name, text.as_bytes(), epoch)
+    }
+
+    /// Parse a Common Log Format byte buffer into a trace without building
+    /// per-line strings: lines are tokenized in place
+    /// ([`clf::parse_line_bytes`]), stably time-sorted as borrowed views,
+    /// and their text interned directly from the buffer during validation.
+    /// `epoch` is the absolute Unix time of trace time zero. Returns the
+    /// trace and the count of unparseable lines.
+    pub fn from_clf_bytes(name: &str, text: &[u8], epoch: i64) -> (Self, usize) {
+        let (mut refs, bad) = clf::parse_log_bytes(text, epoch);
+        // Stable sort, as in `from_raw`: the section 1.1 rules are defined
+        // over the time-ordered sequence.
+        refs.sort_by_key(|r| r.time);
+        let mut v = Validator::new();
+        let requests: Vec<Request> = refs.iter().filter_map(|r| v.validate_ref(r).ok()).collect();
+        let validation = v.stats();
+        (
+            Trace {
+                name: name.to_string(),
+                requests,
+                interner: v.into_interner(),
+                validation,
+            },
+            bad,
+        )
     }
 
     /// Serialise the trace back to CLF text (status 200 for every validated
     /// request). Round-trips through [`Trace::from_clf`].
     pub fn to_clf(&self, epoch: i64) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.requests.len() * 96);
         for r in &self.requests {
-            let raw = RawRequest {
+            let raw = RawRequestRef {
                 time: r.time,
-                client: self
-                    .interner
-                    .client_text(r.client)
-                    .unwrap_or("-")
-                    .to_string(),
-                url: self.interner.url_text(r.url).unwrap_or("-").to_string(),
+                client: self.interner.client_text(r.client).unwrap_or("-"),
+                url: self.interner.url_text(r.url).unwrap_or("-"),
                 status: 200,
                 size: r.size,
                 last_modified: r.last_modified,
             };
-            out.push_str(&clf::format_line(&raw, epoch));
+            clf::write_line(&mut out, &raw, epoch);
             out.push('\n');
         }
         out

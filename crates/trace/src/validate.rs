@@ -13,10 +13,10 @@
 //! size — the document-modification signal the simulator uses for
 //! consistency (the paper reports 0.5%-4.1% across its traces).
 
-use crate::record::{DocType, UrlId};
-use crate::record::{Interner, RawRequest, Request};
+use crate::record::{ClientId, DocType, ServerId, Timestamp, UrlId};
+use crate::record::{Interner, RawRequest, RawRequestRef, Request};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Why the validator dropped a raw entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,7 +67,7 @@ impl ValidationStats {
 #[derive(Debug, Default)]
 pub struct Validator {
     interner: Interner,
-    last_size: HashMap<UrlId, u64>,
+    last_size: FxHashMap<UrlId, u64>,
     stats: ValidationStats,
 }
 
@@ -80,14 +80,56 @@ impl Validator {
     /// Validate one raw entry. Returns the valid [`Request`] or the
     /// [`DropReason`] the rules dictate.
     pub fn validate(&mut self, raw: &RawRequest) -> Result<Request, DropReason> {
+        self.validate_ref(&raw.as_ref())
+    }
+
+    /// Validate one borrowed raw entry (the zero-allocation ingest path):
+    /// text is interned directly from the parse buffer, so accepting a
+    /// request allocates only on the first sighting of each URL, server
+    /// and client.
+    pub fn validate_ref(&mut self, raw: &RawRequestRef<'_>) -> Result<Request, DropReason> {
         if raw.status != 200 {
             self.stats.dropped_not_ok += 1;
             return Err(DropReason::NotOk);
         }
-        let url = self.interner.url(&raw.url);
+        let url = self.interner.url(raw.url);
         let server = self.interner.server(raw.server_name());
-        let client = self.interner.client(&raw.client);
-        let size = match (raw.size, self.last_size.get(&url).copied()) {
+        let client = self.interner.client(raw.client);
+        let doc_type = DocType::classify(raw.url);
+        self.validate_interned(
+            raw.time,
+            client,
+            server,
+            url,
+            doc_type,
+            raw.status,
+            raw.size,
+            raw.last_modified,
+        )
+    }
+
+    /// Validate an entry whose text is already interned — the section 1.1
+    /// size rules and counters over pre-resolved ids. This is the hot core
+    /// shared by [`Validator::validate_ref`] and the workload generator's
+    /// interned-record emission (which resolves ids once per document, not
+    /// once per request).
+    #[allow(clippy::too_many_arguments)]
+    pub fn validate_interned(
+        &mut self,
+        time: Timestamp,
+        client: ClientId,
+        server: ServerId,
+        url: UrlId,
+        doc_type: DocType,
+        status: u16,
+        size: u64,
+        last_modified: Option<Timestamp>,
+    ) -> Result<Request, DropReason> {
+        if status != 200 {
+            self.stats.dropped_not_ok += 1;
+            return Err(DropReason::NotOk);
+        }
+        let size = match (size, self.last_size.get(&url).copied()) {
             (0, None) => {
                 self.stats.dropped_zero_unseen += 1;
                 return Err(DropReason::ZeroSizeUnseen);
@@ -108,13 +150,13 @@ impl Validator {
         self.last_size.insert(url, size);
         self.stats.accepted += 1;
         Ok(Request {
-            time: raw.time,
+            time,
             client,
             server,
             url,
             size,
-            doc_type: DocType::classify(&raw.url),
-            last_modified: raw.last_modified,
+            doc_type,
+            last_modified,
         })
     }
 
@@ -136,6 +178,12 @@ impl Validator {
     /// Borrow the interner built so far.
     pub fn interner(&self) -> &Interner {
         &self.interner
+    }
+
+    /// Mutably borrow the interner, for callers that resolve ids ahead of
+    /// [`Validator::validate_interned`].
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
     }
 }
 
@@ -226,6 +274,85 @@ mod tests {
         let mut v = Validator::new();
         let r = v.validate(&raw(0, "http://s/song.au", 200, 10)).unwrap();
         assert_eq!(r.doc_type, DocType::Audio);
+    }
+
+    #[test]
+    fn zero_size_rereference_adopts_last_known_across_day_boundary() {
+        // The last-known-size memory is per-URL for the whole trace, not
+        // per day: a zero-size re-reference three days later still adopts
+        // the size established on day 0.
+        let mut v = Validator::new();
+        let r = v.validate(&raw(100, "http://s/a", 200, 7_000)).unwrap();
+        assert_eq!(r.day(), 0);
+        let r = v
+            .validate(&raw(3 * 86_400 + 50, "http://s/a", 200, 0))
+            .unwrap();
+        assert_eq!(r.day(), 3);
+        assert_eq!(r.size, 7_000);
+        let s = v.stats();
+        assert_eq!(s.assigned_last_known, 1);
+        assert_eq!(s.rereferences, 1);
+        assert_eq!(s.size_changes, 0);
+        assert_eq!(s.dropped_zero_unseen, 0);
+    }
+
+    #[test]
+    fn size_change_is_detected_across_day_boundaries() {
+        // A modification signal spanning days: day 0 establishes 100 bytes,
+        // day 2 re-references with 250, and a later zero-size entry adopts
+        // the updated size, not the original.
+        let mut v = Validator::new();
+        v.validate(&raw(10, "http://s/a", 200, 100)).unwrap();
+        let r = v
+            .validate(&raw(2 * 86_400 + 1, "http://s/a", 200, 250))
+            .unwrap();
+        assert_eq!((r.day(), r.size), (2, 250));
+        let r = v
+            .validate(&raw(4 * 86_400 + 9, "http://s/a", 200, 0))
+            .unwrap();
+        assert_eq!((r.day(), r.size), (4, 250));
+        let s = v.stats();
+        assert_eq!(s.size_changes, 1);
+        assert_eq!(s.rereferences, 2);
+        assert_eq!(s.assigned_last_known, 1);
+    }
+
+    #[test]
+    fn out_of_order_input_equals_time_sorted_output() {
+        // `Trace::from_raw` fixes time order before validation, so a log
+        // written out of order must build the identical trace — same
+        // requests, same counters, same interned text — as its pre-sorted
+        // round trip. The zero-size entry at t=30 only survives because
+        // sorting puts the t=5 sighting of /a ahead of it.
+        let raws = vec![
+            raw(30, "http://s/a", 200, 0),
+            raw(5, "http://s/a", 200, 64),
+            raw(86_401, "http://t/b", 200, 9),
+            raw(0, "http://t/b", 200, 0), // unseen at t=0 once sorted: dropped
+            raw(12, "http://s/c", 404, 3),
+            raw(7, "http://t/b", 200, 8),
+        ];
+        let mut sorted = raws.clone();
+        sorted.sort_by_key(|r| r.time);
+
+        let shuffled = crate::Trace::from_raw("t", &raws);
+        let reference = crate::Trace::from_raw("t", &sorted);
+        assert_eq!(shuffled.requests, reference.requests);
+        assert_eq!(shuffled.validation, reference.validation);
+        for (a, b) in shuffled.requests.iter().zip(&reference.requests) {
+            assert_eq!(
+                shuffled.interner.url_text(a.url),
+                reference.interner.url_text(b.url)
+            );
+            assert_eq!(
+                shuffled.interner.client_text(a.client),
+                reference.interner.client_text(b.client)
+            );
+        }
+        assert_eq!(shuffled.validation.dropped_zero_unseen, 1);
+        assert_eq!(shuffled.validation.assigned_last_known, 1);
+        assert_eq!(shuffled.validation.dropped_not_ok, 1);
+        assert_eq!(shuffled.len(), 4);
     }
 
     #[test]

@@ -34,6 +34,27 @@ proptest! {
         let _ = clf::parse_clf_date(&s);
     }
 
+    /// Any synthesized request formatted by `write_line` parses back via
+    /// the byte-level parser to the identical request — field for field,
+    /// including the optional `last-modified=` extension.
+    #[test]
+    fn write_line_round_trips_through_byte_parser(
+        time in 0u64..1_000_000_000,
+        client in "[a-z][a-z0-9.\\-]{0,19}",
+        url in "http://[a-z0-9.]{1,15}/[!#-~]{0,20}",
+        status in prop::sample::select(vec![200u16, 304, 400, 403, 404, 500]),
+        size in 0u64..10_000_000_000,
+        last_modified in prop::option::of(0u64..1_000_000_000),
+    ) {
+        let epoch = 811_296_000i64; // 1995-09-17, the BR/BL trace epoch
+        let req = RawRequest { time, client, url, status, size, last_modified };
+        let mut line = String::new();
+        clf::write_line(&mut line, &req.as_ref(), epoch);
+        let parsed = clf::parse_line_bytes(line.as_bytes(), epoch)
+            .expect("write_line output must parse");
+        prop_assert_eq!(parsed.to_owned(), req);
+    }
+
     /// Validation counters always tally: every examined entry is accepted
     /// or dropped exactly once, and re-reference counts never exceed
     /// accepted entries.

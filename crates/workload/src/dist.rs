@@ -56,21 +56,73 @@ impl ZipfSampler {
     }
 }
 
+/// Lazily extended table of Zipf rank weights `i^-alpha` with prefix sums.
+///
+/// [`calibrate_universe`]'s search evaluates the expected-distinct sum at
+/// dozens of universe sizes; recomputing `powf` for every rank at every
+/// probe made calibration the dominant fixed cost of workload generation.
+/// The table computes each rank's weight exactly once across the whole
+/// search.
+struct ZipfTable {
+    alpha: f64,
+    weights: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl ZipfTable {
+    fn new(alpha: f64) -> ZipfTable {
+        ZipfTable {
+            alpha,
+            weights: Vec::new(),
+            prefix: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, k: usize) {
+        self.weights.reserve(k.saturating_sub(self.weights.len()));
+        while self.weights.len() < k {
+            let i = self.weights.len() + 1;
+            let w = (i as f64).powf(-self.alpha);
+            let p = self.prefix.last().copied().unwrap_or(0.0) + w;
+            self.weights.push(w);
+            self.prefix.push(p);
+        }
+    }
+
+    /// `Σ_{i≤universe} 1 - (1 - p_i)^N`, branching per rank on the
+    /// magnitude of `N·p_i`: head ranks saturate to 1, the long tail is
+    /// linear (`1 - e^-x → x`), and only the narrow middle band pays for
+    /// `ln`/`exp`. Every branch agrees with the exact form to well below
+    /// the search's ~1% tolerance.
+    fn expected_distinct(&mut self, universe: usize, n_draws: u64) -> f64 {
+        if universe == 0 || n_draws == 0 {
+            return 0.0;
+        }
+        self.ensure(universe);
+        let h = self.prefix[universe - 1];
+        let n = n_draws as f64;
+        self.weights[..universe]
+            .iter()
+            .map(|&w| {
+                let p = w / h;
+                // x = -N·ln(1-p); for tiny p, ln(1-p) ≈ -p exactly enough.
+                let x = if p < 1e-9 { n * p } else { -n * (-p).ln_1p() };
+                if x < 1e-4 {
+                    x
+                } else if x > 36.0 {
+                    1.0
+                } else {
+                    1.0 - (-x).exp()
+                }
+            })
+            .sum()
+    }
+}
+
 /// Expected number of distinct ranks seen in `n_draws` i.i.d. Zipf draws
 /// over a universe of `universe` ranks: `Σ_i 1 - (1 - p_i)^N`.
 pub fn expected_distinct(universe: usize, alpha: f64, n_draws: u64) -> f64 {
-    if universe == 0 || n_draws == 0 {
-        return 0.0;
-    }
-    let h: f64 = (1..=universe).map(|i| 1.0 / (i as f64).powf(alpha)).sum();
-    let n = n_draws as f64;
-    (1..=universe)
-        .map(|i| {
-            let p = 1.0 / ((i as f64).powf(alpha) * h);
-            // ln-form avoids underflow for tiny p and huge N.
-            1.0 - (n * (1.0 - p).ln()).exp()
-        })
-        .sum()
+    ZipfTable::new(alpha).expected_distinct(universe, n_draws)
 }
 
 /// Find the universe size for which `n_draws` Zipf(`alpha`) draws are
@@ -84,11 +136,12 @@ pub fn calibrate_universe(alpha: f64, n_draws: u64, target_distinct: u64) -> usi
         "cannot see more uniques than draws"
     );
     let target = target_distinct as f64;
+    let mut table = ZipfTable::new(alpha);
     let mut lo = target_distinct as usize;
     let mut hi = lo.max(16);
     // Grow until the expectation overshoots (or the universe is absurdly
     // larger than the draw count — the distinct count then saturates).
-    while expected_distinct(hi, alpha, n_draws) < target {
+    while table.expected_distinct(hi, n_draws) < target {
         if hi as u64 > n_draws * 64 {
             return hi;
         }
@@ -96,7 +149,7 @@ pub fn calibrate_universe(alpha: f64, n_draws: u64, target_distinct: u64) -> usi
     }
     while hi - lo > lo / 128 + 1 {
         let mid = lo + (hi - lo) / 2;
-        if expected_distinct(mid, alpha, n_draws) < target {
+        if table.expected_distinct(mid, n_draws) < target {
             lo = mid;
         } else {
             hi = mid;

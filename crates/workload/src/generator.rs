@@ -2,25 +2,79 @@
 //! [`Trace`] with the statistical structure the paper published for the
 //! real logs.
 //!
-//! Generation is fully deterministic for a `(profile, seed)` pair. The raw
-//! log stream deliberately includes non-200 entries and zero-size entries
-//! so that the section 1.1 validation pipeline is exercised exactly as it
-//! was on the real logs; the `total_requests` budget counts *valid*
-//! accesses, matching how the paper reports its workloads.
+//! Generation is fully deterministic for a `(profile, seed)` pair and is
+//! split into two phases so the expensive part parallelises:
+//!
+//! 1. **Event drawing** (parallel, per day): each day gets an independent
+//!    RNG stream seeded from `(seed, day)` via a splitmix64 mix, and every
+//!    request pre-draws *all* of its randomness — document pick, the
+//!    modification/zero-size/error coins, the size perturbation factor,
+//!    the client number — into a plain [`Event`]. No draw depends on
+//!    cross-day mutable state, so days can be generated on any number of
+//!    threads in any order.
+//! 2. **Folding** (serial, cheap): the day event lists are concatenated in
+//!    day order and folded through the per-document state machine (size
+//!    evolution, last-modified stamps) and the section 1.1 validator,
+//!    emitting interned-id [`webcache_trace::Request`]s directly — no
+//!    per-request strings are built. The fold touches no RNG, so
+//!    [`generate`] (parallel) and [`generate_serial`] are bit-identical by
+//!    construction; a test asserts it anyway.
+//!
+//! The raw event stream deliberately includes non-200 entries and
+//! zero-size entries so that the section 1.1 validation pipeline is
+//! exercised exactly as it was on the real logs; the `total_requests`
+//! budget counts *valid* accesses, matching how the paper reports its
+//! workloads.
 
 use crate::dist::{calibrate_universe, diurnal_second, ZipfSampler};
 use crate::profile::WorkloadProfile;
 use crate::universe::Universe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use webcache_trace::{RawRequest, Trace, SECONDS_PER_DAY};
+use rayon::prelude::*;
+use webcache_trace::{ClientId, ServerId, Trace, UrlId, Validator, SECONDS_PER_DAY};
 
-/// Per-document mutable state during generation.
+/// Per-document mutable state during the serial fold.
 #[derive(Debug, Clone, Copy)]
 struct UrlState {
     seen: bool,
     size: u64,
     last_modified: u64,
+}
+
+/// One fully pre-drawn request event.
+///
+/// All randomness is resolved when the event is drawn; the coins record
+/// *intent* ("modify if already seen") and the fold applies them against
+/// cross-day document state without consuming any RNG.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: u64,
+    /// Universe index of the requested document.
+    url: u32,
+    /// Client number in `0..profile.clients`.
+    client: u32,
+    /// Modify the document's size (effective only once seen).
+    change_coin: bool,
+    /// Touch last-modified without a size change (effective only once seen).
+    same_mod_coin: bool,
+    /// Log a zero size (effective only once seen).
+    zero_coin: bool,
+    /// Size perturbation factor, drawn iff `change_coin`.
+    mod_factor: f64,
+    /// Status of a trailing error entry the validator must drop, if any.
+    error: Option<u16>,
+}
+
+/// Mix `(seed, day)` into an independent per-day stream seed (splitmix64
+/// finaliser). Adjacent days or seeds must not produce correlated streams.
+fn day_stream_seed(seed: u64, day: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(day.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Split the request budget across days proportionally to the profile's
@@ -44,78 +98,108 @@ fn requests_per_day(profile: &WorkloadProfile) -> Vec<u64> {
     counts
 }
 
-/// Generate a complete validated trace from a profile.
-pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
-    profile.validate();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let day_requests = requests_per_day(profile);
+/// Everything the day-event drawers and the fold share, built once per
+/// generation. Immutable after construction, so `&GenCtx` is `Sync` and
+/// day streams can be drawn on worker threads.
+struct GenCtx<'a> {
+    profile: &'a WorkloadProfile,
+    universe: Universe,
+    base_sampler: ZipfSampler,
+    fresh_sampler: Option<ZipfSampler>,
+    review_sampler: Option<ZipfSampler>,
+    day_requests: Vec<u64>,
+}
 
-    // Split draws between the base universe and the fresh-phase universe,
-    // then calibrate each universe size to its distinct-URL target.
-    let fresh_draws: u64 = profile.fresh.map_or(0, |f| {
-        day_requests[f.start_day as usize..]
-            .iter()
-            .map(|&n| (n as f64 * f.prob) as u64)
-            .sum()
-    });
-    let base_draws = profile.total_requests - fresh_draws;
-    let base_size = calibrate_universe(
-        profile.zipf_alpha,
-        base_draws,
-        profile.target_unique_urls.min(base_draws),
-    );
-    let fresh_size = profile.fresh.map_or(0, |f| {
-        calibrate_universe(
+impl<'a> GenCtx<'a> {
+    fn prepare(profile: &'a WorkloadProfile, seed: u64) -> GenCtx<'a> {
+        profile.validate();
+        let day_requests = requests_per_day(profile);
+
+        // Split draws between the base universe and the fresh-phase
+        // universe, then calibrate each universe size to its distinct-URL
+        // target.
+        let fresh_draws: u64 = profile.fresh.map_or(0, |f| {
+            day_requests[f.start_day as usize..]
+                .iter()
+                .map(|&n| (n as f64 * f.prob) as u64)
+                .sum()
+        });
+        let base_draws = profile.total_requests - fresh_draws;
+        let base_size = calibrate_universe(
             profile.zipf_alpha,
-            fresh_draws.max(1),
-            f.target_unique.min(fresh_draws.max(1)),
-        )
-    });
+            base_draws,
+            profile.target_unique_urls.min(base_draws),
+        );
+        let fresh_size = profile.fresh.map_or(0, |f| {
+            calibrate_universe(
+                profile.zipf_alpha,
+                fresh_draws.max(1),
+                f.target_unique.min(fresh_draws.max(1)),
+            )
+        });
 
-    let universe = Universe::build_calibrated(
-        profile,
-        base_size,
-        fresh_size,
-        base_draws,
-        fresh_draws,
-        seed,
-    );
-    let base_sampler = ZipfSampler::new(base_size, profile.zipf_alpha);
-    let fresh_sampler = (fresh_size > 0).then(|| ZipfSampler::new(fresh_size, profile.zipf_alpha));
-    let review_sampler = profile.review.map(|r| {
-        let top = ((base_size as f64 * r.top_fraction) as usize).max(1);
-        ZipfSampler::new(top, profile.zipf_alpha)
-    });
-
-    let mut state: Vec<UrlState> = universe
-        .urls
-        .iter()
-        .map(|u| UrlState {
-            seen: false,
-            size: u.base_size,
-            last_modified: 0,
-        })
-        .collect();
-
-    let mut raws: Vec<RawRequest> =
-        Vec::with_capacity(profile.total_requests as usize + profile.total_requests as usize / 16);
-    for (day, &n_d) in day_requests.iter().enumerate() {
-        if n_d == 0 {
-            continue;
+        let universe = Universe::build_calibrated(
+            profile,
+            base_size,
+            fresh_size,
+            base_draws,
+            fresh_draws,
+            seed,
+        );
+        let base_sampler = ZipfSampler::new(base_size, profile.zipf_alpha);
+        let fresh_sampler =
+            (fresh_size > 0).then(|| ZipfSampler::new(fresh_size, profile.zipf_alpha));
+        let review_sampler = profile.review.map(|r| {
+            let top = ((base_size as f64 * r.top_fraction) as usize).max(1);
+            ZipfSampler::new(top, profile.zipf_alpha)
+        });
+        GenCtx {
+            profile,
+            universe,
+            base_sampler,
+            fresh_sampler,
+            review_sampler,
+            day_requests,
         }
-        let day = day as u64;
+    }
+
+    /// `(day, request_count)` pairs for every non-idle day, in day order.
+    fn active_days(&self) -> Vec<(u64, u64)> {
+        self.day_requests
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(d, &n)| (d as u64, n))
+            .collect()
+    }
+
+    /// Draw every event of one day from that day's independent stream.
+    ///
+    /// Draw order is fixed per request and never short-circuits on
+    /// cross-day state: each coin is drawn unconditionally (only the
+    /// perturbation factor piggybacks on its own coin, which lives in the
+    /// same stream), so a day's events do not depend on what earlier days
+    /// produced.
+    fn day_events(&self, day: u64, n_d: u64, seed: u64) -> Vec<Event> {
+        let p = self.profile;
+        let mut rng = StdRng::seed_from_u64(day_stream_seed(seed, day));
+
         // Classroom working set: the documents the instructor walks the
-        // class through today.
-        let working_set: Option<Vec<usize>> = profile.classroom.map(|c| {
-            let sampler = match (&review_sampler, profile.review) {
+        // class through today. First-draw order (not HashSet iteration
+        // order, which varies per process and would break determinism).
+        let working_set: Option<Vec<usize>> = p.classroom.map(|c| {
+            let sampler = match (&self.review_sampler, p.review) {
                 (Some(rs), Some(r)) if day >= r.start_day => rs,
-                _ => &base_sampler,
+                _ => &self.base_sampler,
             };
-            let mut set = std::collections::HashSet::new();
+            let mut set: Vec<usize> = Vec::with_capacity(c.working_set_size);
             while set.len() < c.working_set_size {
-                set.insert(sampler.sample(&mut rng));
+                let doc = sampler.sample(&mut rng);
+                if !set.contains(&doc) {
+                    set.push(doc);
+                }
             }
-            set.into_iter().collect()
+            set
         });
 
         // Draw the day's request times up front and sort them, so that
@@ -125,93 +209,190 @@ pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
             .map(|_| day * SECONDS_PER_DAY + diurnal_second(&mut rng))
             .collect();
         times.sort_unstable();
-        for time in times {
-            let idx = pick_url(
-                profile,
-                day,
-                &base_sampler,
-                fresh_sampler.as_ref(),
-                review_sampler.as_ref(),
-                working_set.as_deref(),
-                universe.base_count,
-                &mut rng,
-            );
-            let st = &mut state[idx];
-            if st.seen && rng.gen::<f64>() < profile.p_size_change {
-                st.size = Universe::modified_size(universe.urls[idx].base_size, st.size, &mut rng);
-                st.last_modified = time;
-            } else if st.seen && rng.gen::<f64>() < profile.p_same_size_mod {
-                st.last_modified = time;
-            }
-            // Occasionally log a zero size for an already-seen document;
-            // validation restores the last known size.
-            let logged_size = if st.seen && rng.gen::<f64>() < profile.p_zero_size {
-                0
-            } else {
-                st.size
-            };
-            st.seen = true;
-            let spec = &universe.urls[idx];
-            raws.push(RawRequest {
-                time,
-                client: format!(
-                    "client{}.clients.example",
-                    rng.gen_range(0..profile.clients)
-                ),
-                url: spec.url.clone(),
-                status: 200,
-                size: logged_size,
-                last_modified: profile.record_last_modified.then_some(st.last_modified),
-            });
-            // Error noise the validator must drop.
-            if rng.gen::<f64>() < profile.p_error {
-                let status = *[304u16, 404, 403, 500]
-                    .get(rng.gen_range(0..4))
-                    .expect("index in range");
-                raws.push(RawRequest {
-                    time,
-                    client: format!(
-                        "client{}.clients.example",
-                        rng.gen_range(0..profile.clients)
-                    ),
-                    url: spec.url.clone(),
-                    status,
-                    size: 0,
-                    last_modified: None,
+
+        times
+            .into_iter()
+            .map(|time| {
+                let url = self.pick_url(day, working_set.as_deref(), &mut rng) as u32;
+                let change_coin = rng.gen::<f64>() < p.p_size_change;
+                let mod_factor = if change_coin {
+                    Universe::modification_factor(&mut rng)
+                } else {
+                    1.0
+                };
+                let same_mod_coin = rng.gen::<f64>() < p.p_same_size_mod;
+                let zero_coin = rng.gen::<f64>() < p.p_zero_size;
+                let client = rng.gen_range(0..p.clients);
+                let error = (rng.gen::<f64>() < p.p_error).then(|| {
+                    *[304u16, 404, 403, 500]
+                        .get(rng.gen_range(0..4))
+                        .expect("index in range")
                 });
+                Event {
+                    time,
+                    url,
+                    client,
+                    change_coin,
+                    same_mod_coin,
+                    zero_coin,
+                    mod_factor,
+                    error,
+                }
+            })
+            .collect()
+    }
+
+    fn pick_url(&self, day: u64, working_set: Option<&[usize]>, rng: &mut StdRng) -> usize {
+        let p = self.profile;
+        if let (Some(f), Some(fs)) = (p.fresh, &self.fresh_sampler) {
+            if day >= f.start_day && rng.gen::<f64>() < f.prob {
+                return self.universe.base_count + fs.sample(rng);
             }
         }
+        if let (Some(c), Some(set)) = (p.classroom, working_set) {
+            if rng.gen::<f64>() < c.in_set_prob {
+                return set[rng.gen_range(0..set.len())];
+            }
+        }
+        if let (Some(r), Some(rs)) = (p.review, &self.review_sampler) {
+            if day >= r.start_day && rng.gen::<f64>() < r.review_prob {
+                return rs.sample(rng);
+            }
+        }
+        self.base_sampler.sample(rng)
     }
-    Trace::from_raw(&profile.name, &raws)
+
+    /// Fold day event lists (in day order) through document state and the
+    /// validator, emitting interned requests. RNG-free and allocation-light:
+    /// URL/server ids resolve once per document and client ids once per
+    /// client, not once per request.
+    fn fold(&self, per_day: Vec<Vec<Event>>) -> Trace {
+        let p = self.profile;
+        let mut v = Validator::new();
+        let mut state: Vec<UrlState> = self
+            .universe
+            .urls
+            .iter()
+            .map(|u| UrlState {
+                seen: false,
+                size: u.base_size,
+                last_modified: 0,
+            })
+            .collect();
+        let mut doc_ids: Vec<Option<(UrlId, ServerId)>> = vec![None; self.universe.len()];
+        let mut server_ids: Vec<Option<ServerId>> = vec![None; p.servers];
+        let mut client_ids: Vec<Option<ClientId>> = vec![None; p.clients as usize];
+
+        let total: usize = per_day.iter().map(Vec::len).sum();
+        let mut requests = Vec::with_capacity(total);
+        for events in &per_day {
+            for ev in events {
+                let idx = ev.url as usize;
+                let spec = &self.universe.urls[idx];
+                let st = &mut state[idx];
+                if st.seen && ev.change_coin {
+                    st.size = Universe::apply_modification(spec.base_size, st.size, ev.mod_factor);
+                    st.last_modified = ev.time;
+                } else if st.seen && ev.same_mod_coin {
+                    st.last_modified = ev.time;
+                }
+                // Occasionally log a zero size for an already-seen
+                // document; validation restores the last known size.
+                let logged_size = if st.seen && ev.zero_coin { 0 } else { st.size };
+                st.seen = true;
+
+                let (url, server) = match doc_ids[idx] {
+                    Some(ids) => ids,
+                    None => {
+                        // First request for this document: materialise and
+                        // intern its URL text now — never-requested
+                        // documents never pay for a string.
+                        let url_id = v.interner_mut().url(&self.universe.url_of(idx));
+                        let server_id = match server_ids[spec.server] {
+                            Some(id) => id,
+                            None => {
+                                let id = v.interner_mut().server(&self.universe.host_of(idx));
+                                server_ids[spec.server] = Some(id);
+                                id
+                            }
+                        };
+                        doc_ids[idx] = Some((url_id, server_id));
+                        (url_id, server_id)
+                    }
+                };
+                let client = match client_ids[ev.client as usize] {
+                    Some(id) => id,
+                    None => {
+                        let id = v
+                            .interner_mut()
+                            .client(&format!("client{}.clients.example", ev.client));
+                        client_ids[ev.client as usize] = Some(id);
+                        id
+                    }
+                };
+                let last_modified = p.record_last_modified.then_some(st.last_modified);
+                if let Ok(r) = v.validate_interned(
+                    ev.time,
+                    client,
+                    server,
+                    url,
+                    spec.doc_type,
+                    200,
+                    logged_size,
+                    last_modified,
+                ) {
+                    requests.push(r);
+                }
+                // Error noise the validator must drop. Ids are unused on
+                // the non-200 path (the original string pipeline never
+                // interned dropped entries), so reuse the main record's.
+                if let Some(status) = ev.error {
+                    let _ = v.validate_interned(
+                        ev.time,
+                        client,
+                        server,
+                        url,
+                        spec.doc_type,
+                        status,
+                        0,
+                        None,
+                    );
+                }
+            }
+        }
+        let validation = v.stats();
+        Trace {
+            name: p.name.clone(),
+            requests,
+            interner: v.into_interner(),
+            validation,
+        }
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn pick_url(
-    profile: &WorkloadProfile,
-    day: u64,
-    base: &ZipfSampler,
-    fresh: Option<&ZipfSampler>,
-    review: Option<&ZipfSampler>,
-    working_set: Option<&[usize]>,
-    base_count: usize,
-    rng: &mut StdRng,
-) -> usize {
-    if let (Some(f), Some(fs)) = (profile.fresh, fresh) {
-        if day >= f.start_day && rng.gen::<f64>() < f.prob {
-            return base_count + fs.sample(rng);
-        }
-    }
-    if let (Some(c), Some(set)) = (profile.classroom, working_set) {
-        if rng.gen::<f64>() < c.in_set_prob {
-            return set[rng.gen_range(0..set.len())];
-        }
-    }
-    if let (Some(r), Some(rs)) = (profile.review, review) {
-        if day >= r.start_day && rng.gen::<f64>() < r.review_prob {
-            return rs.sample(rng);
-        }
-    }
-    base.sample(rng)
+/// Generate a complete validated trace from a profile, drawing day event
+/// streams across [`rayon::current_num_threads`] threads. Bit-identical to
+/// [`generate_serial`] for every `(profile, seed)` pair.
+pub fn generate(profile: &WorkloadProfile, seed: u64) -> Trace {
+    let ctx = GenCtx::prepare(profile, seed);
+    let days = ctx.active_days();
+    let per_day: Vec<Vec<Event>> = days
+        .par_iter()
+        .map(|&(day, n_d)| ctx.day_events(day, n_d, seed))
+        .collect();
+    ctx.fold(per_day)
+}
+
+/// Generate a complete validated trace on the calling thread only — the
+/// reference path the parallel [`generate`] is asserted against.
+pub fn generate_serial(profile: &WorkloadProfile, seed: u64) -> Trace {
+    let ctx = GenCtx::prepare(profile, seed);
+    let per_day: Vec<Vec<Event>> = ctx
+        .active_days()
+        .into_iter()
+        .map(|(day, n_d)| ctx.day_events(day, n_d, seed))
+        .collect();
+    ctx.fold(per_day)
 }
 
 #[cfg(test)]
@@ -231,6 +412,37 @@ mod tests {
         assert_eq!(a.total_bytes(), b.total_bytes());
         let c = generate(&p, 12);
         assert_ne!(a.total_bytes(), c.total_bytes());
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let p = profiles::g().scaled(0.02);
+        let a = generate(&p, 3);
+        let b = generate_serial(&p, 3);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.validation, b.validation);
+        assert_eq!(a.interner.url_count(), b.interner.url_count());
+    }
+
+    #[test]
+    fn classroom_generation_is_deterministic_across_runs() {
+        // The working set used to be materialised through HashSet
+        // iteration order, which varies per process; first-draw order makes
+        // workload C reproducible.
+        let p = profiles::c().scaled(0.02);
+        let a = generate(&p, 21);
+        let b = generate_serial(&p, 21);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn day_stream_seeds_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 1, 42, u64::MAX] {
+            for day in 0..365 {
+                assert!(seen.insert(day_stream_seed(seed, day)));
+            }
+        }
     }
 
     #[test]

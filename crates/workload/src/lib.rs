@@ -30,6 +30,6 @@ pub mod profiles;
 pub mod seasonal;
 pub mod universe;
 
-pub use generator::generate;
+pub use generator::{generate, generate_serial};
 pub use profile::{ClassroomSpec, FreshPhase, ReviewSpec, TypeSpec, WorkloadProfile};
 pub use universe::Universe;

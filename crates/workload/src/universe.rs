@@ -11,13 +11,33 @@ use crate::dist::{SizeDist, ZipfSampler};
 use crate::profile::{TypeSpec, WorkloadProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use webcache_trace::DocType;
 
+/// Ranks per independent build stream. Fixed (never derived from thread
+/// count) so the universe is bit-identical however many threads build it.
+const BUILD_CHUNK: usize = 8192;
+
+/// Mix `(seed, first_rank)` into a per-chunk stream seed (splitmix64
+/// finaliser, distinct constants from the generator's per-day streams).
+fn chunk_stream_seed(seed: u64, first_rank: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x1656_67B1_9E37_79F9)
+        .wrapping_add((first_rank as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One document in the universe.
-#[derive(Debug, Clone)]
+///
+/// The URL *text* is not stored: a fresh-phase universe can hold an order
+/// of magnitude more documents than the trace has requests (workload U's
+/// fall population), so eager URL strings dominated generation's fixed
+/// cost. [`Universe::url_of`] materialises the text on demand — the
+/// generator does so once per document actually requested, at interning.
+#[derive(Debug, Clone, Copy)]
 pub struct UrlSpec {
-    /// Full URL text (classifies back to `doc_type` via extension).
-    pub url: String,
     /// Index of the server hosting the document.
     pub server: usize,
     /// Media type.
@@ -34,6 +54,8 @@ pub struct Universe {
     /// Number of base documents (`urls[..base_count]`); the rest belong to
     /// the fresh phase (workload U's fall population).
     pub base_count: usize,
+    /// Lower-cased workload domain label used in every URL/host name.
+    pub domain: String,
 }
 
 fn extension(t: DocType) -> &'static str {
@@ -93,11 +115,13 @@ impl Universe {
             if count == 0 || draws == 0 {
                 continue;
             }
-            // Zipf request weight of rank i within the phase.
-            let h: f64 = (1..=count)
+            // Zipf request weight of rank i within the phase, precomputed
+            // once per phase instead of one powf per (type, rank) visit.
+            let raw: Vec<f64> = (1..=count)
                 .map(|i| (i as f64).powf(-profile.zipf_alpha))
-                .sum();
-            let weight = |i: usize| (i as f64 + 1.0).powf(-profile.zipf_alpha) / h * draws as f64;
+                .collect();
+            let h: f64 = raw.iter().sum();
+            let weight = |i: usize| raw[i] / h * draws as f64;
             for t in &profile.types {
                 if t.ref_share <= 0.0 {
                     continue;
@@ -128,8 +152,15 @@ impl Universe {
 
     /// Build the universe for a profile: `base` base documents plus
     /// `fresh` fresh-phase documents.
+    ///
+    /// Ranks are drawn in fixed-size chunks, each from an independent RNG
+    /// stream seeded by `(seed, first_rank)`, and the chunks are mapped
+    /// across rayon threads: the output is bit-identical on any thread
+    /// count because chunk boundaries depend only on [`BUILD_CHUNK`], never
+    /// on scheduling. (A fresh-phase universe can be an order of magnitude
+    /// larger than the request count — workload U's fall population — so
+    /// the build dominates generation's fixed cost.)
     pub fn build(profile: &WorkloadProfile, base: usize, fresh: usize, seed: u64) -> Universe {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
         let server_sampler = ZipfSampler::new(profile.servers, profile.server_alpha);
         let size_dists: Vec<(DocType, SizeDist)> = profile
             .types
@@ -148,42 +179,69 @@ impl Universe {
             .filter(|t| t.ref_share > 0.0)
             .copied()
             .collect();
+        let domain = profile.name.to_ascii_lowercase().replace('@', "-");
 
         let mut urls = Vec::with_capacity(base + fresh);
         // Base and fresh ranks get independent stratifications so both
         // phases carry the Table 4 mix.
         for (offset, count) in [(0usize, base), (base, fresh)] {
             let types = stratified_types(&usable, count);
-            for (i, doc_type) in types.into_iter().enumerate() {
-                let rank = offset + i;
-                let server = if profile.audio_on_one_server && doc_type == DocType::Audio {
-                    0
-                } else {
-                    server_sampler.sample(&mut rng)
-                };
-                let dist = size_dists
-                    .iter()
-                    .find(|(t, _)| *t == doc_type)
-                    .map(|(_, d)| *d)
-                    .expect("every assigned type has a distribution");
-                let base_size = dist.sample(&mut rng);
-                let url = format!(
-                    "http://server{server}.{}.edu/doc{rank}.{}",
-                    profile.name.to_ascii_lowercase().replace('@', "-"),
-                    extension(doc_type)
-                );
-                urls.push(UrlSpec {
-                    url,
-                    server,
-                    doc_type,
-                    base_size,
-                });
+            let starts: Vec<usize> = (0..count).step_by(BUILD_CHUNK.max(1)).collect();
+            let chunks: Vec<Vec<UrlSpec>> = starts
+                .into_par_iter()
+                .map(|start| {
+                    let end = (start + BUILD_CHUNK).min(count);
+                    let mut rng = StdRng::seed_from_u64(chunk_stream_seed(seed, offset + start));
+                    (start..end)
+                        .map(|i| {
+                            let doc_type = types[i];
+                            let server =
+                                if profile.audio_on_one_server && doc_type == DocType::Audio {
+                                    0
+                                } else {
+                                    server_sampler.sample(&mut rng)
+                                };
+                            let dist = size_dists
+                                .iter()
+                                .find(|(t, _)| *t == doc_type)
+                                .map(|(_, d)| *d)
+                                .expect("every assigned type has a distribution");
+                            let base_size = dist.sample(&mut rng);
+                            UrlSpec {
+                                server,
+                                doc_type,
+                                base_size,
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            for chunk in chunks {
+                urls.extend(chunk);
             }
         }
         Universe {
             urls,
             base_count: base,
+            domain,
         }
+    }
+
+    /// Full URL text of the document at `rank` (classifies back to its
+    /// `doc_type` via the extension).
+    pub fn url_of(&self, rank: usize) -> String {
+        let s = &self.urls[rank];
+        format!(
+            "http://server{}.{}.edu/doc{rank}.{}",
+            s.server,
+            self.domain,
+            extension(s.doc_type)
+        )
+    }
+
+    /// Host name of the server serving the document at `rank`.
+    pub fn host_of(&self, rank: usize) -> String {
+        format!("server{}.{}.edu", self.urls[rank].server, self.domain)
     }
 
     /// Total documents (base + fresh).
@@ -196,23 +254,34 @@ impl Universe {
         self.urls.is_empty()
     }
 
-    /// Draw a new size for a modified document: a lognormal perturbation
-    /// of the document's *base* size, at least 1 byte and different from
-    /// the current size. Perturbing the base rather than the current size
-    /// keeps repeated modifications mean-stable — compounding multiplies
-    /// into a geometric random walk that inflates hot documents by orders
-    /// of magnitude over a long trace.
-    pub fn modified_size<R: Rng + ?Sized>(base: u64, current: u64, rng: &mut R) -> u64 {
-        let factor: f64 = {
-            let d = rand_distr::LogNormal::new(0.0, 0.25).expect("valid");
-            rand::distributions::Distribution::sample(&d, rng)
-        };
+    /// Draw the random part of a document modification: a lognormal size
+    /// perturbation factor. Split from [`Universe::apply_modification`] so
+    /// the generator's parallel phase can pre-draw all randomness per day
+    /// and the serial merge can apply it statelessly.
+    pub fn modification_factor<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let d = rand_distr::LogNormal::new(0.0, 0.25).expect("valid");
+        rand::distributions::Distribution::sample(&d, rng)
+    }
+
+    /// Apply a pre-drawn modification factor: the new size is a
+    /// perturbation of the document's *base* size, at least 1 byte and
+    /// different from the current size. Perturbing the base rather than
+    /// the current size keeps repeated modifications mean-stable —
+    /// compounding multiplies into a geometric random walk that inflates
+    /// hot documents by orders of magnitude over a long trace.
+    pub fn apply_modification(base: u64, current: u64, factor: f64) -> u64 {
         let new = ((base as f64 * factor) as u64).max(1);
         if new == current {
             new + 1
         } else {
             new
         }
+    }
+
+    /// Draw a new size for a modified document (factor draw + application
+    /// in one step).
+    pub fn modified_size<R: Rng + ?Sized>(base: u64, current: u64, rng: &mut R) -> u64 {
+        Self::apply_modification(base, current, Self::modification_factor(rng))
     }
 }
 
@@ -261,14 +330,15 @@ mod tests {
         let p = profiles::bl().scaled(0.01);
         let u = Universe::build(&p, 500, 0, 42);
         assert_eq!(u.len(), 500);
-        for spec in &u.urls {
+        for (rank, spec) in u.urls.iter().enumerate() {
+            let url = u.url_of(rank);
             assert_eq!(
-                DocType::classify(&spec.url),
+                DocType::classify(&url),
                 spec.doc_type,
-                "URL {} does not classify back to {:?}",
-                spec.url,
+                "URL {url} does not classify back to {:?}",
                 spec.doc_type
             );
+            assert!(url.contains(&u.host_of(rank)));
             assert!(spec.base_size >= 32);
             assert!(spec.server < p.servers);
         }
@@ -328,8 +398,8 @@ mod tests {
         let a = Universe::build(&p, 200, 0, 5);
         let b = Universe::build(&p, 200, 0, 5);
         assert_eq!(a.urls.len(), b.urls.len());
-        for (x, y) in a.urls.iter().zip(&b.urls) {
-            assert_eq!(x.url, y.url);
+        for (i, (x, y)) in a.urls.iter().zip(&b.urls).enumerate() {
+            assert_eq!(a.url_of(i), b.url_of(i));
             assert_eq!(x.base_size, y.base_size);
         }
     }

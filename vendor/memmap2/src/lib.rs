@@ -1,0 +1,181 @@
+//! Offline in-repo substitute for `memmap2`.
+//!
+//! Implements the one API surface this workspace uses: a read-only
+//! [`Mmap`] over a whole file, dereferencing to `&[u8]`. On Unix this is a
+//! real `mmap(2)` (`PROT_READ`, `MAP_PRIVATE`) via direct libc FFI — the C
+//! library is already linked by `std`, so no external crate is needed. On
+//! other platforms (and for empty files, which `mmap` rejects) it falls
+//! back to reading the file into an owned buffer, preserving the same API
+//! and semantics.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of a whole file (or an owned fallback buffer).
+pub struct Mmap {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::os::raw::c_void,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// The mapping is read-only and owned exclusively by this value.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Map `file` read-only.
+    ///
+    /// # Safety
+    ///
+    /// As for upstream `memmap2`: the caller must ensure the file is not
+    /// truncated or mutated by another process while the map is alive —
+    /// the map is a live view of the file, and access beyond a shrunken
+    /// file faults.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            // mmap(2) rejects zero-length maps; an empty buffer is the
+            // same observable value.
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let ptr = sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            );
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                inner: Inner::Mapped { ptr, len },
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut buf)?;
+            Ok(Mmap {
+                inner: Inner::Owned(buf),
+            })
+        }
+    }
+
+    /// Length of the mapped region in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the mapped region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memmap2_sub_test_{}", std::process::id()));
+        let payload = b"hello mapped world".repeat(500);
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&m[..], &payload[..]);
+        assert_eq!(m.len(), payload.len());
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn maps_empty_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memmap2_sub_empty_{}", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert!(m.is_empty());
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
