@@ -20,6 +20,39 @@
 use std::io::Write as _;
 use webcache_experiments::{exp1, exp2, exp3, exp4, exp5, figures, Ctx};
 
+/// Report a usage error and exit with status 2 (conventional bad-usage).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `experiments help` for usage");
+    std::process::exit(2);
+}
+
+/// Parse a flag's value, rejecting (rather than silently defaulting on)
+/// malformed input.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let v = value.unwrap_or_else(|| usage_error(&format!("{flag} requires a value")));
+    v.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} got unparseable value {v:?}")))
+}
+
+/// Write a result JSON atomically: temp sibling, flush, sync, rename. A
+/// crash mid-write can cost the file, never leave a half-written one.
+fn write_json_atomic(dir: &str, name: &str, json: &str) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{name}.json");
+    let tmp = format!("{dir}/{name}.json.tmp.{}", std::process::id());
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map(|()| path)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
@@ -29,22 +62,44 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0),
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
-            "--json" => json_dir = it.next(),
+            "--scale" => scale = parse_flag("--scale", it.next()),
+            "--seed" => seed = parse_flag("--seed", it.next()),
+            "--json" => {
+                json_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--json requires a directory")),
+                )
+            }
             _ => rest.push(a),
         }
     }
-    let ctx = Ctx::with_scale(scale, seed);
+    let ctx = match Ctx::try_with_scale(scale, seed) {
+        Ok(ctx) => ctx,
+        Err(e) => usage_error(&e.to_string()),
+    };
     let cmd = rest.first().map(String::as_str).unwrap_or("help");
     let arg = |i: usize| rest.get(i).map(String::as_str);
+    // Workload-name positional argument: reject unknown names here, with
+    // a usage message, rather than panicking deep inside the runner.
+    let wl_arg = |i: usize, default: &'static str| -> String {
+        let w = rest.get(i).map(String::as_str).unwrap_or(default);
+        if webcache_workload::profiles::by_name(w).is_none() {
+            usage_error(&format!(
+                "unknown workload {w:?} (expected one of {})",
+                webcache_experiments::runner::WORKLOADS.join(", ")
+            ));
+        }
+        w.to_string()
+    };
     let save = |name: &str, value: &dyn erased_json::SerializeJson| {
         if let Some(dir) = &json_dir {
-            std::fs::create_dir_all(dir).expect("create json dir");
-            let path = format!("{dir}/{name}.json");
-            let mut f = std::fs::File::create(&path).expect("create json file");
-            f.write_all(value.to_json().as_bytes()).expect("write json");
-            eprintln!("wrote {path}");
+            match write_json_atomic(dir, name, &value.to_json()) {
+                Ok(path) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("error: could not write {dir}/{name}.json: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     };
 
@@ -53,23 +108,23 @@ fn main() {
         "table3" => println!("{}", figures::table3()),
         "table4" => println!("{}", figures::table4(&ctx)),
         "fig1" => {
-            let f = figures::fig1(&ctx, arg(1).unwrap_or("BL"));
+            let f = figures::fig1(&ctx, &wl_arg(1, "BL"));
             save("fig1", &f);
             println!("{}", f.render("requests"));
         }
         "fig2" => {
-            let f = figures::fig2(&ctx, arg(1).unwrap_or("BL"));
+            let f = figures::fig2(&ctx, &wl_arg(1, "BL"));
             save("fig2", &f);
             println!("{}", f.render("bytes"));
         }
         "fig13" => {
-            let wl = arg(1).unwrap_or("BL");
+            let wl = &wl_arg(1, "BL");
             let h = figures::fig13(&ctx, wl);
             save("fig13", &h);
             println!("{}", figures::render_fig13(&h, wl));
         }
         "fig14" => {
-            let wl = arg(1).unwrap_or("BL");
+            let wl = &wl_arg(1, "BL");
             match figures::fig14(&ctx, wl) {
                 Some(s) => {
                     save("fig14", &s);
@@ -93,8 +148,8 @@ fn main() {
         }
         "exp1" => {
             let e = match arg(1) {
-                Some(w) => exp1::Exp1 {
-                    workloads: vec![exp1::run_one(&ctx, w)],
+                Some(_) => exp1::Exp1 {
+                    workloads: vec![exp1::run_one(&ctx, &wl_arg(1, "BL"))],
                 },
                 None => exp1::run(&ctx),
             };
@@ -112,11 +167,14 @@ fn main() {
                 "named" => exp2::PolicySet::Named,
                 _ => exp2::PolicySet::Figures,
             };
-            let workloads: Vec<&str> = match arg(1) {
-                Some(w) => vec![w],
-                None => webcache_experiments::runner::WORKLOADS.to_vec(),
+            let workloads: Vec<String> = match arg(1) {
+                Some(_) => vec![wl_arg(1, "BL")],
+                None => webcache_experiments::runner::WORKLOADS
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect(),
             };
-            for w in workloads {
+            for w in &workloads {
                 let e = exp2::run_one(&ctx, w, frac, set);
                 save(&format!("exp2_{w}"), &e);
                 println!("{}", e.figure());
@@ -124,7 +182,7 @@ fn main() {
             }
         }
         "exp2b" => {
-            let wl = arg(1).unwrap_or("G");
+            let wl = &wl_arg(1, "G");
             let frac: f64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(0.1);
             let s = exp2::run_secondary(&ctx, wl, frac);
             save("exp2b", &s);
@@ -137,7 +195,7 @@ fn main() {
             println!("{}", exp3::table(&rows));
         }
         "exp3-shared" => {
-            let wl = arg(1).unwrap_or("BL");
+            let wl = &wl_arg(1, "BL");
             let groups: usize = arg(2).and_then(|v| v.parse().ok()).unwrap_or(4);
             let r = exp3::run_shared(&ctx, wl, 0.1, groups);
             save("exp3_shared", &r);
@@ -152,14 +210,14 @@ fn main() {
             );
         }
         "exp5" => {
-            let wl = arg(1).unwrap_or("BL");
+            let wl = &wl_arg(1, "BL");
             let frac: f64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(0.1);
             let runs = exp5::run(&ctx, wl, frac);
             save("exp5", &runs);
             println!("{}", exp5::table(wl, &runs));
         }
         "replicate" => {
-            let wl = arg(1).unwrap_or("G");
+            let wl = &wl_arg(1, "G");
             let seeds: u64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(5);
             let (shr, lhr, swhr, lwhr) = exp5::replicate(wl, scale, 0.1, 1..1 + seeds);
             println!(
@@ -182,7 +240,7 @@ fn main() {
             use webcache_core::policy::named;
             use webcache_core::sim::instrument::InstrumentedCache;
             use webcache_core::sim::simulate;
-            let wl = arg(1).unwrap_or("BL");
+            let wl = &wl_arg(1, "BL");
             let trace = ctx.trace(wl);
             let capacity = webcache_core::sim::max_needed(&trace) / 10;
             for make in [named::lru, named::size] {

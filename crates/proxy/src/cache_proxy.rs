@@ -8,7 +8,17 @@
 //!    origin; `304` refreshes the copy (still a hit — no bytes moved),
 //!    `200` replaces it (miss);
 //! 3. no copy → forward the GET to the origin and cache the result.
+//!
+//! When the origin misbehaves the proxy degrades instead of failing:
+//! every origin fetch runs under connect/read timeouts, failed fetches
+//! are retried with exponential backoff and deterministic jitter, a
+//! per-origin circuit breaker fast-fails while an origin is known bad
+//! (closed → open → half-open), and a stale cached copy is served — with
+//! a `Warning: 110` degraded marker — when revalidation fails entirely
+//! (`stale-if-error` semantics). Every degradation is counted in
+//! [`ProxyStats`].
 
+use crate::fault::splitmix64;
 use crate::http::HttpError;
 use crate::http::{self, Request, Response};
 use bytes::Bytes;
@@ -17,6 +27,7 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use webcache_core::cache::{Cache, Outcome};
 use webcache_core::policy::RemovalPolicy;
 use webcache_trace::{ClientId, DocType, Interner, ServerId};
@@ -30,6 +41,79 @@ pub struct ProxyConfig {
     /// revalidated with a conditional GET. `None` trusts copies forever
     /// (the simulator's behaviour for unchanged sizes).
     pub ttl: Option<u64>,
+    /// TCP connect timeout for origin fetches.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on an established origin connection — bounds
+    /// how long a stalled origin can wedge a request.
+    pub read_timeout: Duration,
+    /// Retries after the first failed fetch (total attempts = 1 + this).
+    pub max_retries: u32,
+    /// Base of the exponential backoff between retries; attempt `n`
+    /// sleeps `base * 2^(n-1)` plus deterministic jitter in `[0, base/2)`.
+    pub backoff_base: Duration,
+    /// Consecutive exhausted fetches to one origin host before its
+    /// circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// Logical-clock ticks an open breaker waits before letting one
+    /// half-open probe through. Logical (one tick per proxy request), not
+    /// wall time, so breaker behaviour is deterministic under test.
+    pub breaker_cooldown: u64,
+    /// Serve an expired cached copy (marked degraded) when revalidation
+    /// fails, instead of surfacing the origin error.
+    pub serve_stale: bool,
+}
+
+impl ProxyConfig {
+    /// A config with the given capacity, no TTL, and resilience defaults:
+    /// 1 s connect / 2 s read timeouts, 2 retries with 10 ms backoff
+    /// base, breaker opening after 5 failures for 32 ticks, serve-stale
+    /// on.
+    pub fn new(capacity: u64) -> ProxyConfig {
+        ProxyConfig {
+            capacity,
+            ttl: None,
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(2),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            breaker_threshold: 5,
+            breaker_cooldown: 32,
+            serve_stale: true,
+        }
+    }
+
+    /// Set the freshness lifetime (logical seconds).
+    pub fn with_ttl(mut self, ttl: u64) -> ProxyConfig {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Set retry count and backoff base.
+    pub fn with_retries(mut self, max_retries: u32, backoff_base: Duration) -> ProxyConfig {
+        self.max_retries = max_retries;
+        self.backoff_base = backoff_base;
+        self
+    }
+
+    /// Set connect and read timeouts.
+    pub fn with_timeouts(mut self, connect: Duration, read: Duration) -> ProxyConfig {
+        self.connect_timeout = connect;
+        self.read_timeout = read;
+        self
+    }
+
+    /// Set circuit-breaker threshold and cooldown (in logical ticks).
+    pub fn with_breaker(mut self, threshold: u32, cooldown: u64) -> ProxyConfig {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Enable or disable serve-stale-on-error.
+    pub fn with_serve_stale(mut self, on: bool) -> ProxyConfig {
+        self.serve_stale = on;
+        self
+    }
 }
 
 /// Counters the proxy exposes.
@@ -47,6 +131,18 @@ pub struct ProxyStats {
     pub bytes_from_cache: u64,
     /// Bytes fetched from the origin.
     pub bytes_from_origin: u64,
+    /// Retry attempts after a failed origin fetch.
+    pub retries: u64,
+    /// Origin fetch attempts that timed out (connect or read).
+    pub timeouts: u64,
+    /// Origin fetches that failed even after all retries.
+    pub origin_failures: u64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_trips: u64,
+    /// Fetches refused locally because a breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Expired copies served (degraded) because revalidation failed.
+    pub stale_serves: u64,
 }
 
 impl ProxyStats {
@@ -59,6 +155,37 @@ impl ProxyStats {
             (self.hits + self.revalidated) as f64 / self.requests as f64
         }
     }
+}
+
+/// Circuit-breaker state for one origin host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum BreakerState {
+    /// Fetches flow normally; consecutive failures are counted.
+    #[default]
+    Closed,
+    /// Fetches fast-fail locally until the cooldown elapses.
+    Open,
+    /// One probe fetch is allowed through; its outcome decides whether
+    /// the breaker closes again or re-opens.
+    HalfOpen,
+}
+
+#[derive(Debug, Default)]
+struct Breaker {
+    state: BreakerState,
+    /// Consecutive exhausted fetches while closed.
+    failures: u32,
+    /// Logical tick at which the breaker last opened.
+    opened_at: u64,
+}
+
+/// Why a resilient origin fetch returned no response.
+#[derive(Debug)]
+enum FetchError {
+    /// The host's breaker is open; no connection was attempted.
+    BreakerOpen,
+    /// Every attempt failed; `timed_out` if any attempt hit a timeout.
+    Exhausted { timed_out: bool },
 }
 
 /// Shared mutable proxy state: metadata cache, body store, interner and a
@@ -74,6 +201,10 @@ struct ProxyState {
     /// behave exactly as in simulation. Wall time is deliberately not
     /// used — tests stay deterministic.
     now: u64,
+    /// Per-origin-host circuit breakers.
+    breakers: HashMap<String, Breaker>,
+    /// Counter feeding deterministic backoff jitter.
+    jitter_seq: u64,
     log: Vec<String>,
 }
 
@@ -102,6 +233,8 @@ impl ProxyServer {
             stats: ProxyStats::default(),
             fetched_at: HashMap::new(),
             now: 0,
+            breakers: HashMap::new(),
+            jitter_seq: 0,
             log: Vec::new(),
         }));
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -160,10 +293,136 @@ impl Drop for ProxyServer {
     }
 }
 
-fn fetch_origin(origin: SocketAddr, req: &Request) -> Result<Response, HttpError> {
-    let mut stream = TcpStream::connect(origin)?;
+/// The origin host named by a proxy-form target, for breaker keying.
+fn host_of(target: &str) -> &str {
+    let rest = target.strip_prefix("http://").unwrap_or(target);
+    rest.split('/').next().unwrap_or(rest)
+}
+
+fn is_timeout(e: &HttpError) -> bool {
+    matches!(e, HttpError::Io(io) if matches!(
+        io.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    ))
+}
+
+/// One bounded fetch attempt: connect under a timeout, then read under a
+/// timeout. A stalled or truncating origin surfaces as `Err`, never as a
+/// hang or a short body.
+fn fetch_once(
+    origin: SocketAddr,
+    req: &Request,
+    config: &ProxyConfig,
+) -> Result<Response, HttpError> {
+    let mut stream = TcpStream::connect_timeout(&origin, config.connect_timeout)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.read_timeout))?;
     http::write_request(&mut stream, req)?;
     http::read_response(&mut stream)
+}
+
+/// Fetch from the origin with retries, backoff, and the host's circuit
+/// breaker. A `5xx` response counts as a failed attempt. The lock is
+/// never held across network I/O or backoff sleeps.
+fn fetch_origin_resilient(
+    origin: SocketAddr,
+    req: &Request,
+    config: &ProxyConfig,
+    state: &Arc<Mutex<ProxyState>>,
+    host: &str,
+) -> Result<Response, FetchError> {
+    // Breaker admission: open → fast-fail (or half-open probe after the
+    // cooldown); a probe gets exactly one attempt.
+    let probing = {
+        let mut st = state.lock();
+        let now = st.now;
+        let cooldown = config.breaker_cooldown;
+        let breaker = st.breakers.entry(host.to_string()).or_default();
+        match breaker.state {
+            BreakerState::Closed => false,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now.saturating_sub(breaker.opened_at) >= cooldown {
+                    breaker.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    st.stats.breaker_fast_fails += 1;
+                    return Err(FetchError::BreakerOpen);
+                }
+            }
+        }
+    };
+
+    let attempts = if probing { 1 } else { 1 + config.max_retries };
+    let mut timed_out = false;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            // Exponential backoff with deterministic jitter: the jitter
+            // stream is seeded by a per-proxy counter, not wall time, so
+            // runs are reproducible.
+            let base_ms = config.backoff_base.as_millis().max(1) as u64;
+            let jitter_ms = {
+                let mut st = state.lock();
+                st.stats.retries += 1;
+                st.jitter_seq += 1;
+                splitmix64(st.jitter_seq) % (base_ms / 2 + 1)
+            };
+            let sleep =
+                config.backoff_base * (1 << (attempt - 1)) + Duration::from_millis(jitter_ms);
+            std::thread::sleep(sleep);
+        }
+        match fetch_once(origin, req, config) {
+            Ok(resp) if resp.status < 500 => {
+                let mut st = state.lock();
+                let breaker = st.breakers.entry(host.to_string()).or_default();
+                breaker.state = BreakerState::Closed;
+                breaker.failures = 0;
+                return Ok(resp);
+            }
+            Ok(_server_error) => {}
+            Err(e) => {
+                if is_timeout(&e) {
+                    timed_out = true;
+                    state.lock().stats.timeouts += 1;
+                }
+            }
+        }
+    }
+
+    // All attempts failed: record it and account the breaker. A failed
+    // half-open probe re-opens immediately; a closed breaker opens once
+    // consecutive failures reach the threshold.
+    let mut st = state.lock();
+    st.stats.origin_failures += 1;
+    let now = st.now;
+    let threshold = config.breaker_threshold;
+    let tripped = {
+        let breaker = st.breakers.entry(host.to_string()).or_default();
+        breaker.failures += 1;
+        let opens = match breaker.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => breaker.failures >= threshold,
+            BreakerState::Open => false,
+        };
+        if opens {
+            breaker.state = BreakerState::Open;
+            breaker.opened_at = now;
+        }
+        opens
+    };
+    if tripped {
+        st.stats.breaker_trips += 1;
+    }
+    Err(FetchError::Exhausted { timed_out })
+}
+
+/// The client-facing status for a fetch that produced no response.
+fn error_response(e: &FetchError) -> Response {
+    Response::status_only(match e {
+        FetchError::BreakerOpen => 503,
+        FetchError::Exhausted { timed_out: true } => 504,
+        FetchError::Exhausted { timed_out: false } => 502,
+    })
 }
 
 fn handle_client(
@@ -219,6 +478,7 @@ fn proxy_get(
         (url, cached)
     };
 
+    let host = host_of(target);
     if let Some((meta, body, fetched, now)) = cached {
         let fresh = config
             .ttl
@@ -235,21 +495,62 @@ fn proxy_get(
             "If-Modified-Since",
             &meta.last_modified.unwrap_or(0).to_string(),
         );
-        let origin_resp = fetch_origin(origin, &cond)?;
-        if origin_resp.status == 304 {
-            let mut st = state.lock();
-            st.stats.revalidated += 1;
-            let now = st.now;
-            st.fetched_at.insert(url, now);
-            record_cache_hit(&mut st, url, target, now);
-            return Ok(Response::ok(body, meta.last_modified).with_cache_status(true));
-        }
-        // Modified: fall through to insert the fresh copy.
-        return Ok(store_and_serve(state, config, url, target, origin_resp));
+        return match fetch_origin_resilient(origin, &cond, &config, state, host) {
+            Ok(origin_resp) if origin_resp.status == 304 => {
+                let mut st = state.lock();
+                st.stats.revalidated += 1;
+                let now = st.now;
+                st.fetched_at.insert(url, now);
+                record_cache_hit(&mut st, url, target, now);
+                Ok(Response::ok(body, meta.last_modified).with_cache_status(true))
+            }
+            Ok(origin_resp) if origin_resp.status == 200 => {
+                // Modified: insert the fresh copy.
+                Ok(store_and_serve(state, config, url, target, origin_resp))
+            }
+            // Origin answered but with neither 304 nor a document (e.g.
+            // the document is gone): pass it through, keep our copy.
+            Ok(origin_resp) => Ok(origin_resp),
+            Err(_e) if config.serve_stale => {
+                // Revalidation failed: serve the expired copy, marked
+                // degraded, rather than surfacing the origin failure
+                // (`stale-if-error`). Freshness is NOT renewed — the next
+                // request past the TTL revalidates again.
+                let mut st = state.lock();
+                st.stats.stale_serves += 1;
+                st.stats.bytes_from_cache += meta.size;
+                let now = st.now;
+                // Touch the cache so the policy sees the reference, but
+                // do not count a hit: degraded serves are reported
+                // separately in `stale_serves`.
+                let r = webcache_trace::Request {
+                    time: now,
+                    client: ClientId(0),
+                    server: ServerId(0),
+                    url,
+                    size: meta.size,
+                    doc_type: meta.doc_type,
+                    last_modified: meta.last_modified,
+                };
+                let _ = st.cache.request(&r);
+                st.log.push(format!(
+                    "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {} STALE",
+                    meta.size
+                ));
+                Ok(Response::ok(body, meta.last_modified)
+                    .with_cache_status(true)
+                    .with_degraded())
+            }
+            Err(e) => Ok(error_response(&e)),
+        };
     }
 
     // Case 3: no copy; forward to the origin.
-    let origin_resp = fetch_origin(origin, &Request::get(target))?;
+    let origin_resp =
+        match fetch_origin_resilient(origin, &Request::get(target), &config, state, host) {
+            Ok(resp) => resp,
+            Err(e) => return Ok(error_response(&e)),
+        };
     if origin_resp.status != 200 {
         return Ok(origin_resp);
     }
@@ -338,12 +639,9 @@ mod tests {
         store.put_synthetic("http://o.test/b.gif", 3000, 10);
         store.put_synthetic("http://o.test/c.au", 6000, 10);
         let origin = OriginServer::start(store).unwrap();
-        let proxy = ProxyServer::start(
-            origin.addr(),
-            ProxyConfig { capacity, ttl },
-            Box::new(named::size()),
-        )
-        .unwrap();
+        let mut config = ProxyConfig::new(capacity);
+        config.ttl = ttl;
+        let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
         (origin, proxy)
     }
 
@@ -433,6 +731,97 @@ mod tests {
         assert!(log.contains("MISS"));
         assert!(log.contains("HIT"));
         assert_eq!(log.lines().count(), 2);
+    }
+
+    #[test]
+    fn host_of_extracts_the_breaker_key() {
+        assert_eq!(host_of("http://o.test/a.html"), "o.test");
+        assert_eq!(host_of("http://o.test:8080/deep/path"), "o.test:8080");
+        assert_eq!(host_of("o.test/x"), "o.test");
+    }
+
+    #[test]
+    fn dead_origin_yields_5xx_not_a_hang_for_uncached_documents() {
+        // Bind a listener and drop it so the port refuses connections.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let proxy = ProxyServer::start(
+            dead,
+            ProxyConfig::new(100_000)
+                .with_retries(1, Duration::from_millis(1))
+                .with_breaker(2, 1000),
+            Box::new(named::size()),
+        )
+        .unwrap();
+        let r = get(&proxy, "http://o.test/a.html");
+        assert!(r.status >= 500, "expected 5xx, got {}", r.status);
+        let s = proxy.stats();
+        assert_eq!(s.origin_failures, 1);
+        assert_eq!(s.retries, 1);
+        // Second failure reaches the threshold and trips the breaker;
+        // the third request fast-fails without touching the network.
+        get(&proxy, "http://o.test/a.html");
+        assert_eq!(proxy.stats().breaker_trips, 1);
+        let r = get(&proxy, "http://o.test/a.html");
+        assert_eq!(r.status, 503);
+        assert_eq!(proxy.stats().breaker_fast_fails, 1);
+    }
+
+    #[test]
+    fn stale_copy_is_served_degraded_when_origin_dies() {
+        let (origin, proxy) = setup_resilient(Some(1));
+        let first = get(&proxy, "http://o.test/a.html");
+        assert!(!first.is_degraded());
+        drop(origin); // origin goes away
+        get(&proxy, "http://o.test/b.gif"); // advance clock past TTL (5xx, uncached)
+        get(&proxy, "http://o.test/c.au");
+        let r = get(&proxy, "http://o.test/a.html");
+        assert_eq!(r.status, 200, "cached doc must survive origin death");
+        assert!(r.is_cache_hit());
+        assert!(r.is_degraded(), "stale serve must carry the 110 warning");
+        assert_eq!(r.body, first.body);
+        let s = proxy.stats();
+        assert_eq!(s.stale_serves, 1);
+        assert!(s.origin_failures >= 1);
+    }
+
+    #[test]
+    fn serve_stale_can_be_disabled() {
+        let (origin, proxy) = {
+            let store = Arc::new(DocStore::new());
+            store.put_synthetic("http://o.test/a.html", 1000, 10);
+            let origin = OriginServer::start(store).unwrap();
+            let config = ProxyConfig::new(100_000)
+                .with_ttl(1)
+                .with_retries(0, Duration::from_millis(1))
+                .with_serve_stale(false);
+            let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
+            (origin, proxy)
+        };
+        get(&proxy, "http://o.test/a.html");
+        drop(origin);
+        get(&proxy, "http://o.test/x"); // advance clock
+        get(&proxy, "http://o.test/y");
+        let r = get(&proxy, "http://o.test/a.html");
+        assert!(r.status >= 500, "without serve-stale the error surfaces");
+        assert_eq!(proxy.stats().stale_serves, 0);
+    }
+
+    /// Origin + proxy tuned for fast failure detection in tests.
+    fn setup_resilient(ttl: Option<u64>) -> (OriginServer, ProxyServer) {
+        let store = Arc::new(DocStore::new());
+        store.put_synthetic("http://o.test/a.html", 1000, 10);
+        store.put_synthetic("http://o.test/b.gif", 3000, 10);
+        store.put_synthetic("http://o.test/c.au", 6000, 10);
+        let origin = OriginServer::start(store).unwrap();
+        let mut config = ProxyConfig::new(100_000)
+            .with_retries(1, Duration::from_millis(1))
+            .with_breaker(50, 1000);
+        config.ttl = ttl;
+        let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
+        (origin, proxy)
     }
 
     #[test]

@@ -6,7 +6,12 @@
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+
+/// Upper bound accepted for `Content-Length`, so a corrupt or hostile
+/// peer cannot make the reader allocate unbounded memory.
+pub const MAX_BODY: u64 = 1 << 30;
+/// Upper bound on the header count of one message.
+pub const MAX_HEADERS: usize = 128;
 
 /// Errors from reading or writing HTTP messages.
 #[derive(Debug)]
@@ -126,6 +131,24 @@ impl Response {
     pub fn is_cache_hit(&self) -> bool {
         self.headers.get("x-cache").map(String::as_str) == Some("HIT")
     }
+
+    /// Mark this response as degraded: a stale cached copy served because
+    /// the origin could not be reached (HTTP `Warning: 110`, the
+    /// "response is stale" code RFC 7234 pairs with `stale-if-error`).
+    pub fn with_degraded(mut self) -> Response {
+        self.headers.insert(
+            "warning".to_string(),
+            "110 webcache \"Response is Stale\"".to_string(),
+        );
+        self
+    }
+
+    /// True if the response carries the `Warning: 110` degraded marker.
+    pub fn is_degraded(&self) -> bool {
+        self.headers
+            .get("warning")
+            .is_some_and(|w| w.starts_with("110"))
+    }
 }
 
 fn reason(status: u16) -> &'static str {
@@ -134,14 +157,18 @@ fn reason(status: u16) -> &'static str {
         304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
+        500 => "Internal Server Error",
         501 => "Not Implemented",
         502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
 
-/// Read one request from a stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+/// Read one request from a stream (any `Read` — a socket or a test
+/// buffer).
+pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -167,7 +194,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 }
 
 /// Write a request to a stream.
-pub fn write_request(stream: &mut TcpStream, req: &Request) -> Result<(), HttpError> {
+pub fn write_request<S: Write>(stream: &mut S, req: &Request) -> Result<(), HttpError> {
     let mut out = format!("{} {} HTTP/1.0\r\n", req.method, req.target);
     for (k, v) in &req.headers {
         out.push_str(&format!("{k}: {v}\r\n"));
@@ -178,7 +205,7 @@ pub fn write_request(stream: &mut TcpStream, req: &Request) -> Result<(), HttpEr
 }
 
 /// Read a response (headers + `Content-Length` body) from a stream.
-pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
+pub fn read_response<S: Read>(stream: &mut S) -> Result<Response, HttpError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -194,11 +221,18 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| HttpError::Malformed("bad status".into()))?;
     let headers = read_headers(&mut reader)?;
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let mut body = vec![0u8; len];
+    let len: u64 = match headers.get("content-length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if len > MAX_BODY {
+        return Err(HttpError::Malformed(format!(
+            "content-length {len} exceeds the {MAX_BODY}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
     reader.read_exact(&mut body)?;
     Ok(Response {
         status,
@@ -207,14 +241,21 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     })
 }
 
-/// Write a response to a stream.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<(), HttpError> {
+/// Serialise a response's status line and headers (everything before the
+/// body). Split out so a fault injector can send a truthful head and then
+/// deliver fewer body bytes than it promised.
+pub fn encode_response_head(resp: &Response) -> Vec<u8> {
     let mut out = format!("HTTP/1.0 {} {}\r\n", resp.status, reason(resp.status));
     for (k, v) in &resp.headers {
         out.push_str(&format!("{k}: {v}\r\n"));
     }
     out.push_str("\r\n");
-    stream.write_all(out.as_bytes())?;
+    out.into_bytes()
+}
+
+/// Write a response to a stream.
+pub fn write_response<S: Write>(stream: &mut S, resp: &Response) -> Result<(), HttpError> {
+    stream.write_all(&encode_response_head(resp))?;
     stream.write_all(&resp.body)?;
     stream.flush()?;
     Ok(())
@@ -228,6 +269,11 @@ fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, 
         let line = line.trim_end();
         if line.is_empty() {
             return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
         }
         let (name, value) = line
             .split_once(':')
@@ -256,7 +302,7 @@ pub fn synthetic_body(url: &str, size: u64) -> Bytes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
+    use std::net::{TcpListener, TcpStream};
 
     fn pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -308,6 +354,50 @@ mod tests {
         a.write_all(b"BANANA\r\n\r\n").unwrap();
         drop(a);
         assert!(read_request(&mut b).is_err());
+    }
+
+    #[test]
+    fn degraded_marker_round_trips() {
+        let (mut a, mut b) = pair();
+        let resp = Response::ok(Bytes::copy_from_slice(b"x"), None)
+            .with_cache_status(true)
+            .with_degraded();
+        write_response(&mut b, &resp).unwrap();
+        let got = read_response(&mut a).unwrap();
+        assert!(got.is_degraded());
+        assert!(got.is_cache_hit());
+        assert!(!Response::status_only(200).is_degraded());
+    }
+
+    #[test]
+    fn bogus_content_length_is_rejected() {
+        use std::io::Write as _;
+        for cl in ["banana", "-3", &format!("{}", MAX_BODY + 1)] {
+            let (mut a, mut b) = pair();
+            b.write_all(format!("HTTP/1.0 200 OK\r\ncontent-length: {cl}\r\n\r\n").as_bytes())
+                .unwrap();
+            drop(b);
+            assert!(
+                read_response(&mut a).is_err(),
+                "content-length {cl:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_header_count_is_rejected() {
+        use std::io::Write as _;
+        let (mut a, mut b) = pair();
+        std::thread::spawn(move || {
+            let _ = b.write_all(b"HTTP/1.0 200 OK\r\n");
+            for i in 0..(MAX_HEADERS + 2) {
+                if b.write_all(format!("h{i}: v\r\n").as_bytes()).is_err() {
+                    return;
+                }
+            }
+            let _ = b.write_all(b"\r\n");
+        });
+        assert!(read_response(&mut a).is_err());
     }
 
     #[test]

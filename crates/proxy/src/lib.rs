@@ -13,16 +13,26 @@
 //! * [`cache_proxy`] — the proxy: serves fresh copies from cache,
 //!   revalidates stale copies with conditional GETs, forwards misses, and
 //!   makes room using any [`webcache_core::policy::RemovalPolicy`].
+//!   Degrades gracefully when the origin misbehaves: connect/read
+//!   timeouts, bounded retries with backoff, a per-origin circuit
+//!   breaker, and serve-stale-on-error.
+//! * [`fault`] — a deterministic fault-injection shim
+//!   ([`fault::FaultyOrigin`]) that sits between proxy and origin and
+//!   injects refused connections, delays, stalls, truncations, and `5xx`
+//!   errors according to a seeded [`fault::FaultPlan`].
 //!
 //! Integration tests at the workspace root drive generated workload
 //! traces through a real proxy/origin pair and check the hit counts match
-//! the simulator on the same request sequence.
+//! the simulator on the same request sequence; `tests/faults.rs` replays
+//! workloads under injected faults and asserts graceful degradation.
 
 #![warn(missing_docs)]
 
 pub mod cache_proxy;
+pub mod fault;
 pub mod http;
 pub mod origin;
 
 pub use cache_proxy::{ProxyConfig, ProxyServer, ProxyStats};
+pub use fault::{FaultKind, FaultPlan, FaultyOrigin};
 pub use origin::{DocStore, OriginServer};

@@ -28,10 +28,7 @@ fn chained_proxies_shield_the_origin() {
     let origin = origin_with_docs();
     let parent = ProxyServer::start(
         origin.addr(),
-        ProxyConfig {
-            capacity: 1_000_000,
-            ttl: None,
-        },
+        ProxyConfig::new(1_000_000),
         Box::new(named::lru()),
     )
     .expect("parent proxy");
@@ -39,10 +36,7 @@ fn chained_proxies_shield_the_origin() {
     // speak absolute-URI GET.
     let child = ProxyServer::start(
         parent.addr(),
-        ProxyConfig {
-            capacity: 1_000_000,
-            ttl: None,
-        },
+        ProxyConfig::new(1_000_000),
         Box::new(named::size()),
     )
     .expect("child proxy");
@@ -62,10 +56,7 @@ fn chained_proxies_shield_the_origin() {
     // parent satisfies the miss; the origin still saw exactly one fetch.
     let cold_child = ProxyServer::start(
         parent.addr(),
-        ProxyConfig {
-            capacity: 1_000_000,
-            ttl: None,
-        },
+        ProxyConfig::new(1_000_000),
         Box::new(named::size()),
     )
     .expect("cold child");
@@ -85,10 +76,7 @@ fn conditional_get_propagates_down_the_chain() {
     let origin = origin_with_docs();
     let parent = ProxyServer::start(
         origin.addr(),
-        ProxyConfig {
-            capacity: 1_000_000,
-            ttl: None,
-        },
+        ProxyConfig::new(1_000_000),
         Box::new(named::lru()),
     )
     .expect("parent");
@@ -127,19 +115,13 @@ fn starved_edge_with_big_parent_mirrors_experiment3() {
     let origin = origin_with_docs();
     let parent = ProxyServer::start(
         origin.addr(),
-        ProxyConfig {
-            capacity: 1_000_000,
-            ttl: None,
-        },
+        ProxyConfig::new(1_000_000),
         Box::new(named::lru()),
     )
     .expect("parent");
     let edge = ProxyServer::start(
         parent.addr(),
-        ProxyConfig {
-            capacity: 6_000, // holds 2k + 5k? no: evicts by SIZE
-            ttl: None,
-        },
+        ProxyConfig::new(6_000), // holds 2k + 5k? no: evicts by SIZE
         Box::new(named::size()),
     )
     .expect("edge");

@@ -10,12 +10,12 @@
 //! [`load`], which memory-maps the file (`memmap2`) and falls back to a
 //! buffered read if mapping fails; [`read_trace`] decodes any byte slice.
 //!
-//! ## Layout (version 1, all integers little-endian)
+//! ## Layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! offset size  field
 //!      0    4  magic  b"WCT\x01"
-//!      4    2  format version (1)
+//!      4    2  format version (2; version-1 files still load)
 //!      6    2  flags (0)
 //!      8    8  request count          (u64)
 //!     16    4  unique URL count       (u32)
@@ -32,12 +32,29 @@
 //!              size u64 | last_modified u64
 //!           …  string tables: URLs, then servers, then clients;
 //!              each string is u32 length + UTF-8 bytes, in id order
+//!          40  checksum footer (version ≥ 2 only):
+//!              magic b"WCTS" | reserved u32 (0) |
+//!              header, name, records, tables checksums (4 × u64)
 //! ```
 //!
 //! Records sit at an 8-byte-aligned offset so a memory-mapped file can be
 //! scanned with aligned loads; decoding nevertheless uses explicit
 //! little-endian byte reads, so any alignment (and any host endianness)
 //! is correct.
+//!
+//! ## Integrity (version 2)
+//!
+//! Version 2 appends a fixed-size footer carrying one checksum per file
+//! section (fixed header, padded name, request records, string tables),
+//! computed by [`checksum`] — a word-at-a-time FNV-1a variant that also
+//! absorbs the section length. [`read_trace`] verifies every section
+//! *before* decoding a single record, so a flipped bit anywhere in the
+//! file surfaces as [`BinError::ChecksumMismatch`] rather than a silently
+//! wrong trace, and a truncated file fails the footer check (or the
+//! strict no-trailing-bytes check) instead of yielding a short trace.
+//! Version-1 files, which predate the footer, still load unverified.
+//! [`save`] writes through a sibling temporary file and renames it into
+//! place, so a killed run never leaves a half-written `.wct` behind.
 
 use crate::record::{ClientId, DocType, Interner, Request, ServerId, UrlId};
 use crate::stream::Trace;
@@ -48,12 +65,104 @@ use std::path::Path;
 
 /// File magic: "WCT" + format generation byte.
 pub const MAGIC: [u8; 4] = *b"WCT\x01";
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version (written by [`write_trace`]).
+pub const VERSION: u16 = 2;
+/// Oldest format version [`read_trace`] still accepts.
+pub const MIN_VERSION: u16 = 1;
 /// Size of one fixed-width request record in bytes.
 pub const RECORD_SIZE: usize = 40;
 /// Size of the fixed header in bytes (before the trace name).
 pub const HEADER_SIZE: usize = 80;
+/// Checksum footer magic (version ≥ 2).
+pub const FOOTER_MAGIC: [u8; 4] = *b"WCTS";
+/// Size of the checksum footer in bytes (version ≥ 2).
+pub const FOOTER_SIZE: usize = 40;
+
+/// Streaming checksum over a byte section: FNV-1a over little-endian
+/// 64-bit words (with a zero-padded tail word), finished by absorbing the
+/// section length so `"ab\0"` and `"ab"` differ. Word-at-a-time keeps
+/// verification far cheaper than byte-wise FNV on multi-hundred-megabyte
+/// packs while still catching any single-bit corruption.
+#[derive(Debug, Clone)]
+pub struct Hasher64 {
+    state: u64,
+    pending: [u8; 8],
+    npend: usize,
+    len: u64,
+}
+
+impl Hasher64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh hasher.
+    pub fn new() -> Hasher64 {
+        Hasher64 {
+            state: Self::OFFSET,
+            pending: [0u8; 8],
+            npend: 0,
+            len: 0,
+        }
+    }
+
+    fn absorb(&mut self, word: u64) {
+        self.state ^= word;
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Feed more bytes; sections may be fed in chunks of any size.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        if self.npend > 0 {
+            let take = (8 - self.npend).min(bytes.len());
+            self.pending[self.npend..self.npend + take].copy_from_slice(&bytes[..take]);
+            self.npend += take;
+            bytes = &bytes[take..];
+            if self.npend == 8 {
+                self.absorb(u64::from_le_bytes(self.pending));
+                self.npend = 0;
+            } else {
+                return;
+            }
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.absorb(u64::from_le_bytes(w));
+        }
+        let rem = chunks.remainder();
+        self.pending[..rem.len()].copy_from_slice(rem);
+        self.npend = rem.len();
+    }
+
+    /// Final checksum value.
+    pub fn finish(mut self) -> u64 {
+        if self.npend > 0 {
+            for b in &mut self.pending[self.npend..] {
+                *b = 0;
+            }
+            let w = u64::from_le_bytes(self.pending);
+            self.absorb(w);
+        }
+        let len = self.len;
+        self.absorb(len);
+        self.state
+    }
+}
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Hasher64::new()
+    }
+}
+
+/// One-shot [`Hasher64`] over a byte slice.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = Hasher64::new();
+    h.update(bytes);
+    h.finish()
+}
 
 /// Error decoding a packed trace.
 #[derive(Debug)]
@@ -70,6 +179,12 @@ pub enum BinError {
     BadDocType(u8),
     /// A request record referenced an id beyond its string table.
     BadId(u32),
+    /// The version ≥ 2 checksum footer is missing or malformed.
+    BadFooter,
+    /// A section's stored checksum disagrees with its contents.
+    ChecksumMismatch(&'static str),
+    /// The buffer continues past the announced contents.
+    TrailingBytes,
     /// Underlying I/O failure while reading the file.
     Io(io::Error),
 }
@@ -83,6 +198,11 @@ impl std::fmt::Display for BinError {
             BinError::BadUtf8 => write!(f, "packed trace contains invalid UTF-8"),
             BinError::BadDocType(t) => write!(f, "unknown document-type tag {t}"),
             BinError::BadId(id) => write!(f, "record references out-of-table id {id}"),
+            BinError::BadFooter => write!(f, "packed trace checksum footer is malformed"),
+            BinError::ChecksumMismatch(section) => {
+                write!(f, "packed trace {section} section fails its checksum")
+            }
+            BinError::TrailingBytes => write!(f, "packed trace has trailing bytes"),
             BinError::Io(e) => write!(f, "i/o error reading packed trace: {e}"),
         }
     }
@@ -110,7 +230,7 @@ fn doc_type_from_tag(tag: u8) -> Result<DocType, BinError> {
         .ok_or(BinError::BadDocType(tag))
 }
 
-/// Serialise a trace into the packed format.
+/// Serialise a trace into the packed format (version 2, checksummed).
 pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
     let name = trace.name.as_bytes();
     let mut header = [0u8; HEADER_SIZE];
@@ -136,11 +256,18 @@ pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
     {
         header[32 + i * 8..40 + i * 8].copy_from_slice(&field.to_le_bytes());
     }
+    let header_ck = checksum(&header);
     w.write_all(&header)?;
-    w.write_all(name)?;
+
     let pad = (8 - (HEADER_SIZE + name.len()) % 8) % 8;
+    let mut name_h = Hasher64::new();
+    name_h.update(name);
+    name_h.update(&[0u8; 8][..pad]);
+    let name_ck = name_h.finish();
+    w.write_all(name)?;
     w.write_all(&[0u8; 8][..pad])?;
 
+    let mut rec_h = Hasher64::new();
     let mut rec = [0u8; RECORD_SIZE];
     for r in &trace.requests {
         rec[0..8].copy_from_slice(&r.time.to_le_bytes());
@@ -152,45 +279,86 @@ pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
         rec[22..24].copy_from_slice(&[0u8; 2]);
         rec[24..32].copy_from_slice(&r.size.to_le_bytes());
         rec[32..40].copy_from_slice(&r.last_modified.unwrap_or(0).to_le_bytes());
+        rec_h.update(&rec);
         w.write_all(&rec)?;
     }
+    let records_ck = rec_h.finish();
 
     fn write_table<'a, W: Write>(
         w: &mut W,
+        h: &mut Hasher64,
         table: impl Iterator<Item = Option<&'a str>>,
     ) -> io::Result<()> {
         for s in table {
-            let s = s.expect("interner ids are dense").as_bytes();
-            w.write_all(&(s.len() as u32).to_le_bytes())?;
+            let s = s
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "interner id table has a hole")
+                })?
+                .as_bytes();
+            let len = (s.len() as u32).to_le_bytes();
+            h.update(&len);
+            h.update(s);
+            w.write_all(&len)?;
             w.write_all(s)?;
         }
         Ok(())
     }
+    let mut tab_h = Hasher64::new();
     let i = &trace.interner;
-    write_table(w, (0..i.url_count()).map(|n| i.url_text(UrlId(n as u32))))?;
     write_table(
         w,
+        &mut tab_h,
+        (0..i.url_count()).map(|n| i.url_text(UrlId(n as u32))),
+    )?;
+    write_table(
+        w,
+        &mut tab_h,
         (0..i.server_count()).map(|n| i.server_text(ServerId(n as u32))),
     )?;
     write_table(
         w,
+        &mut tab_h,
         (0..i.client_count()).map(|n| i.client_text(ClientId(n as u32))),
     )?;
-    Ok(())
+    let tables_ck = tab_h.finish();
+
+    let mut footer = [0u8; FOOTER_SIZE];
+    footer[0..4].copy_from_slice(&FOOTER_MAGIC);
+    // reserved u32 at 4..8 stays zero (and is verified on load).
+    footer[8..16].copy_from_slice(&header_ck.to_le_bytes());
+    footer[16..24].copy_from_slice(&name_ck.to_le_bytes());
+    footer[24..32].copy_from_slice(&records_ck.to_le_bytes());
+    footer[32..40].copy_from_slice(&tables_ck.to_le_bytes());
+    w.write_all(&footer)
 }
 
 /// Serialise a trace into an owned packed buffer.
-pub fn to_bytes(trace: &Trace) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_SIZE + trace.requests.len() * RECORD_SIZE);
-    write_trace(trace, &mut out).expect("Vec<u8> writes are infallible");
-    out
+pub fn to_bytes(trace: &Trace) -> io::Result<Vec<u8>> {
+    let mut out =
+        Vec::with_capacity(HEADER_SIZE + trace.requests.len() * RECORD_SIZE + FOOTER_SIZE);
+    write_trace(trace, &mut out)?;
+    Ok(out)
 }
 
-/// Write a trace to `path` through a buffered writer.
+/// Write a trace to `path` atomically: the bytes go to a same-directory
+/// temporary file which is renamed into place only after a successful
+/// flush and fsync, so a crashed or killed run never leaves a truncated
+/// `.wct` where a good one (or nothing) should be.
 pub fn save(trace: &Trace, path: &Path) -> io::Result<()> {
-    let mut w = io::BufWriter::new(File::create(path)?);
-    write_trace(trace, &mut w)?;
-    w.flush()
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut w = io::BufWriter::new(File::create(&tmp)?);
+        write_trace(trace, &mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Byte-slice reader with explicit little-endian decoding.
@@ -208,15 +376,20 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, BinError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, BinError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, BinError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn string(&mut self) -> Result<String, BinError> {
@@ -226,15 +399,89 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Little-endian u64 at a fixed offset of a slice already known to be
+/// long enough.
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    let b = &bytes[at..at + 8];
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Verify the version-2 checksum footer against the body's sections.
+/// Section boundaries are recomputed from the (already header-checksummed)
+/// counts, with every arithmetic step bounds-checked, so a corrupted count
+/// reads as a checksum or truncation error, never an out-of-range slice.
+fn verify_footer(body: &[u8], footer: &[u8]) -> Result<(), BinError> {
+    if footer[0..4] != FOOTER_MAGIC || footer[4..8] != [0u8; 4] {
+        return Err(BinError::BadFooter);
+    }
+    if body.len() < HEADER_SIZE {
+        return Err(BinError::Truncated);
+    }
+    if checksum(&body[..HEADER_SIZE]) != le_u64(footer, 8) {
+        return Err(BinError::ChecksumMismatch("header"));
+    }
+    let n_requests = le_u64(body, 8) as usize;
+    let name_len = u32::from_le_bytes([body[28], body[29], body[30], body[31]]) as usize;
+    let pad = (8 - (HEADER_SIZE + name_len) % 8) % 8;
+    let rec_start = HEADER_SIZE
+        .checked_add(name_len)
+        .and_then(|v| v.checked_add(pad))
+        .ok_or(BinError::Truncated)?;
+    let rec_end = n_requests
+        .checked_mul(RECORD_SIZE)
+        .and_then(|v| v.checked_add(rec_start))
+        .ok_or(BinError::Truncated)?;
+    if rec_end > body.len() || rec_start > body.len() {
+        return Err(BinError::Truncated);
+    }
+    if checksum(&body[HEADER_SIZE..rec_start]) != le_u64(footer, 16) {
+        return Err(BinError::ChecksumMismatch("name"));
+    }
+    if checksum(&body[rec_start..rec_end]) != le_u64(footer, 24) {
+        return Err(BinError::ChecksumMismatch("records"));
+    }
+    if checksum(&body[rec_end..]) != le_u64(footer, 32) {
+        return Err(BinError::ChecksumMismatch("string tables"));
+    }
+    Ok(())
+}
+
 /// Decode a packed trace from a byte slice (a memory map or an owned
-/// buffer read from disk).
+/// buffer read from disk). Version-2 buffers have every section verified
+/// against the checksum footer before any record is decoded; version-1
+/// buffers decode unverified.
 pub fn read_trace(bytes: &[u8]) -> Result<Trace, BinError> {
+    if bytes.len() < 8 {
+        return Err(BinError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    match u16::from_le_bytes([bytes[4], bytes[5]]) {
+        1 => read_body(bytes),
+        2 => {
+            let body_len = bytes
+                .len()
+                .checked_sub(FOOTER_SIZE)
+                .ok_or(BinError::Truncated)?;
+            let (body, footer) = bytes.split_at(body_len);
+            verify_footer(body, footer)?;
+            read_body(body)
+        }
+        v => Err(BinError::BadVersion(v)),
+    }
+}
+
+/// Decode the checksum-free portion of a packed trace (header through
+/// string tables), requiring the buffer to end exactly where the
+/// announced contents do.
+fn read_body(bytes: &[u8]) -> Result<Trace, BinError> {
     let mut c = Cursor { buf: bytes, pos: 0 };
     if c.take(4)? != MAGIC {
         return Err(BinError::BadMagic);
     }
     let version = c.u16()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(BinError::BadVersion(version));
     }
     let _flags = c.u16()?;
@@ -261,9 +508,9 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, BinError> {
     let records = c.take(record_bytes)?;
     let mut requests = Vec::with_capacity(n_requests);
     for rec in records.chunks_exact(RECORD_SIZE) {
-        let url = u32::from_le_bytes(rec[8..12].try_into().unwrap());
-        let client = u32::from_le_bytes(rec[12..16].try_into().unwrap());
-        let server = u32::from_le_bytes(rec[16..20].try_into().unwrap());
+        let url = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]);
+        let client = u32::from_le_bytes([rec[12], rec[13], rec[14], rec[15]]);
+        let server = u32::from_le_bytes([rec[16], rec[17], rec[18], rec[19]]);
         if url >= n_urls {
             return Err(BinError::BadId(url));
         }
@@ -275,13 +522,13 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, BinError> {
         }
         let has_lm = rec[21] != 0;
         requests.push(Request {
-            time: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            time: le_u64(rec, 0),
             client: ClientId(client),
             server: ServerId(server),
             url: UrlId(url),
-            size: u64::from_le_bytes(rec[24..32].try_into().unwrap()),
+            size: le_u64(rec, 24),
             doc_type: doc_type_from_tag(rec[20])?,
-            last_modified: has_lm.then(|| u64::from_le_bytes(rec[32..40].try_into().unwrap())),
+            last_modified: has_lm.then(|| le_u64(rec, 32)),
         });
     }
 
@@ -290,6 +537,9 @@ pub fn read_trace(bytes: &[u8]) -> Result<Trace, BinError> {
     let urls = read_table(n_urls)?;
     let servers = read_table(n_servers)?;
     let clients = read_table(n_clients)?;
+    if c.pos != bytes.len() {
+        return Err(BinError::TrailingBytes);
+    }
     Ok(Trace {
         name,
         requests,
@@ -361,7 +611,7 @@ mod tests {
     #[test]
     fn round_trips_bit_exactly() {
         let t = sample_trace();
-        let bytes = to_bytes(&t);
+        let bytes = to_bytes(&t).unwrap();
         let back = read_trace(&bytes).unwrap();
         assert_eq!(back.name, t.name);
         assert_eq!(back.requests, t.requests);
@@ -385,7 +635,7 @@ mod tests {
     #[test]
     fn empty_trace_round_trips() {
         let t = Trace::from_raw("empty", &[]);
-        let back = read_trace(&to_bytes(&t)).unwrap();
+        let back = read_trace(&to_bytes(&t).unwrap()).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.name, "empty");
     }
@@ -401,10 +651,25 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// First record offset for the sample trace's padded name.
+    fn rec_start(t: &Trace) -> usize {
+        let name_len = t.name.len();
+        HEADER_SIZE + name_len + (8 - (HEADER_SIZE + name_len) % 8) % 8
+    }
+
+    /// The sample trace as a version-1 buffer: the v2 body with the
+    /// footer stripped and the version field rewritten.
+    fn v1_bytes(t: &Trace) -> Vec<u8> {
+        let bytes = to_bytes(t).unwrap();
+        let mut v1 = bytes[..bytes.len() - FOOTER_SIZE].to_vec();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        v1
+    }
+
     #[test]
     fn rejects_corrupt_input() {
         let t = sample_trace();
-        let bytes = to_bytes(&t);
+        let bytes = to_bytes(&t).unwrap();
         assert!(matches!(read_trace(&[]), Err(BinError::Truncated)));
         assert!(matches!(
             read_trace(b"NOPE\x01\x00\x00\x00"),
@@ -416,21 +681,104 @@ mod tests {
             read_trace(&wrong_version),
             Err(BinError::BadVersion(99))
         ));
+        // Truncation shifts the footer window: the footer check fails.
         let truncated = &bytes[..bytes.len() - 3];
-        assert!(matches!(read_trace(truncated), Err(BinError::Truncated)));
-        // Corrupt a record's doc-type tag (first record starts after the
-        // padded name).
+        assert!(read_trace(truncated).is_err());
+        // Any in-section corruption is a checksum mismatch, caught before
+        // a single record is decoded.
+        let start = rec_start(&t);
         let mut bad_tag = bytes.clone();
-        let name_len = t.name.len();
-        let rec_start = HEADER_SIZE + name_len + (8 - (HEADER_SIZE + name_len) % 8) % 8;
-        bad_tag[rec_start + 20] = 200;
+        bad_tag[start + 20] = 200;
+        assert!(matches!(
+            read_trace(&bad_tag),
+            Err(BinError::ChecksumMismatch("records"))
+        ));
+        let mut bad_name = bytes.clone();
+        bad_name[HEADER_SIZE] ^= 0x40;
+        assert!(matches!(
+            read_trace(&bad_name),
+            Err(BinError::ChecksumMismatch("name"))
+        ));
+        let mut bad_count = bytes.clone();
+        bad_count[8] ^= 0x01;
+        assert!(matches!(
+            read_trace(&bad_count),
+            Err(BinError::ChecksumMismatch("header"))
+        ));
+        // Corruption of the footer itself is equally fatal.
+        let mut bad_footer = bytes.clone();
+        let flen = bad_footer.len();
+        bad_footer[flen - 39] ^= 0xFF; // reserved bytes must be zero
+        assert!(matches!(read_trace(&bad_footer), Err(BinError::BadFooter)));
+        // Trailing garbage cannot hide after the footer.
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(read_trace(&trailing).is_err());
+    }
+
+    #[test]
+    fn version1_files_still_load() {
+        let t = sample_trace();
+        let v1 = v1_bytes(&t);
+        let back = read_trace(&v1).unwrap();
+        assert_eq!(back.requests, t.requests);
+        assert_eq!(back.validation, t.validation);
+        // Unchecksummed v1 decoding still catches structural corruption.
+        let start = rec_start(&t);
+        let mut bad_tag = v1.clone();
+        bad_tag[start + 20] = 200;
         assert!(matches!(
             read_trace(&bad_tag),
             Err(BinError::BadDocType(200))
         ));
-        // Corrupt a record's URL id beyond the table.
-        let mut bad_id = bytes;
-        bad_id[rec_start + 8..rec_start + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut bad_id = v1.clone();
+        bad_id[start + 8..start + 12].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(read_trace(&bad_id), Err(BinError::BadId(_))));
+        assert!(matches!(
+            read_trace(&v1[..v1.len() - 3]),
+            Err(BinError::Truncated)
+        ));
+        let mut trailing = v1;
+        trailing.extend_from_slice(&[0u8; 40]);
+        assert!(matches!(
+            read_trace(&trailing),
+            Err(BinError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn checksum_distinguishes_length_and_padding() {
+        assert_ne!(checksum(b"ab"), checksum(b"ab\0"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+        // Chunked feeding matches one-shot hashing.
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        let mut h = Hasher64::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join(format!("wct_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.wct");
+        save(&t, &path).unwrap();
+        assert_eq!(
+            read_trace(&std::fs::read(&path).unwrap()).unwrap().requests,
+            t.requests
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,101 @@
+//! Robustness properties of the packed `.wct` format: the loader must
+//! return a typed error — never panic, never silently yield a wrong or
+//! short trace — for bytes mangled or truncated at *any* offset. The
+//! version-2 per-section checksums are what make the single-byte-mangle
+//! property hold: without them a flipped bit inside a record would decode
+//! as a plausible but wrong request.
+
+use proptest::prelude::*;
+use webcache_trace::binfmt::{read_trace, to_bytes};
+use webcache_trace::{RawRequest, Trace};
+
+/// A small but structurally complete trace: re-references, a dropped
+/// request, sizes assigned by validation, and both `last_modified` arms.
+fn sample_trace() -> Trace {
+    let mut raws = Vec::new();
+    for i in 0u64..12 {
+        raws.push(RawRequest {
+            time: 5 + i * 3,
+            client: format!("client{}.example", i % 3),
+            url: format!("http://server{}.example/doc{}.html", i % 4, i % 5),
+            status: if i == 7 { 404 } else { 200 },
+            size: 100 + i * 37,
+            last_modified: (i % 2 == 0).then_some(i),
+        });
+    }
+    Trace::from_raw("fuzz-sample", &raws)
+}
+
+fn packed() -> Vec<u8> {
+    to_bytes(&sample_trace()).expect("pack sample")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Flipping any single byte anywhere in a v2 pack is detected.
+    #[test]
+    fn any_single_byte_mangle_is_detected(offset in 0usize..4096, flip in 1u8..=255) {
+        let mut bytes = packed();
+        let offset = offset % bytes.len();
+        bytes[offset] ^= flip;
+        prop_assert!(
+            read_trace(&bytes).is_err(),
+            "mangle at {offset} (xor {flip:#x}) loaded successfully"
+        );
+    }
+
+    /// Any strict prefix fails to load — no silently short traces.
+    #[test]
+    fn any_truncation_is_detected(cut in 0usize..4096) {
+        let bytes = packed();
+        let cut = cut % bytes.len(); // strict prefix: 0..len-1
+        prop_assert!(
+            read_trace(&bytes[..cut]).is_err(),
+            "truncation to {cut} of {} bytes loaded successfully",
+            bytes.len()
+        );
+    }
+
+    /// Appending trailing garbage fails to load.
+    #[test]
+    fn trailing_garbage_is_detected(tail in prop::collection::vec(0u8..=255, 1..64)) {
+        let mut bytes = packed();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(read_trace(&bytes).is_err());
+    }
+
+    /// Arbitrary garbage never panics the loader.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let _ = read_trace(&bytes);
+    }
+
+    /// Arbitrary garbage stamped with a valid magic + version still never
+    /// panics (exercises the deeper parse paths).
+    #[test]
+    fn magic_prefixed_garbage_never_panics(
+        body in prop::collection::vec(0u8..=255, 8..512),
+        version in prop::sample::select(vec![1u16, 2]),
+    ) {
+        let mut bytes = body;
+        bytes[0..4].copy_from_slice(b"WCT\x01");
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        let _ = read_trace(&bytes);
+    }
+}
+
+/// Exhaustive single-byte corruption sweep: every offset, one flip each.
+/// Cheap for a small sample and stronger than random sampling.
+#[test]
+fn every_offset_mangle_is_detected_exhaustively() {
+    let bytes = packed();
+    for offset in 0..bytes.len() {
+        let mut mangled = bytes.clone();
+        mangled[offset] ^= 0xA5;
+        assert!(
+            read_trace(&mangled).is_err(),
+            "mangle at offset {offset} loaded successfully"
+        );
+    }
+}

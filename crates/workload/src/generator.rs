@@ -192,11 +192,22 @@ impl<'a> GenCtx<'a> {
                 (Some(rs), Some(r)) if day >= r.start_day => rs,
                 _ => &self.base_sampler,
             };
-            let mut set: Vec<usize> = Vec::with_capacity(c.working_set_size);
-            while set.len() < c.working_set_size {
-                let doc = sampler.sample(&mut rng);
-                if !set.contains(&doc) {
-                    set.push(doc);
+            // Cap the working set at the sampler's support: a heavily
+            // scaled-down profile can shrink the universe below the
+            // configured set size, and rejection sampling for more
+            // distinct documents than exist would never terminate. When
+            // the whole universe fits, the "class" simply walks all of
+            // it; otherwise draws are unchanged from before the cap.
+            let want = c.working_set_size.min(sampler.len());
+            let mut set: Vec<usize> = Vec::with_capacity(want);
+            if want == sampler.len() {
+                set.extend(0..want);
+            } else {
+                while set.len() < want {
+                    let doc = sampler.sample(&mut rng);
+                    if !set.contains(&doc) {
+                        set.push(doc);
+                    }
                 }
             }
             set

@@ -59,11 +59,25 @@ fn parallel_generation_is_bit_identical_to_serial_for_all_profiles() {
 }
 
 #[test]
+fn classroom_profile_terminates_when_scaled_below_its_working_set() {
+    // Regression: at heavy down-scaling the URL universe of profile C
+    // shrinks below its 130-document classroom working set, and the
+    // distinct-document rejection loop used to spin forever. The set is
+    // now capped at the universe, and generation still matches the
+    // serial reference path.
+    let p = profiles::c().scaled(0.005);
+    let par = generate(&p, 11);
+    let ser = generate_serial(&p, 11);
+    assert_identical(&par, &ser);
+    assert!(!par.is_empty());
+}
+
+#[test]
 fn packed_round_trip_preserves_generated_traces() {
     // Generated traces survive the binary format: pack, reload, compare.
     let p = profiles::g().scaled(0.01);
     let t = generate(&p, 5);
-    let bytes = webcache_trace::binfmt::to_bytes(&t);
+    let bytes = webcache_trace::binfmt::to_bytes(&t).expect("pack");
     let back = webcache_trace::binfmt::read_trace(&bytes).expect("round trip");
     assert_identical(&t, &back);
 }

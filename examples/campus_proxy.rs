@@ -47,10 +47,7 @@ fn main() {
     let capacity = last_size.values().sum::<u64>();
     let proxy = ProxyServer::start(
         origin.addr(),
-        ProxyConfig {
-            capacity,
-            ttl: None,
-        },
+        ProxyConfig::new(capacity),
         Box::new(webcache::core::policy::named::size()),
     )
     .expect("proxy starts");

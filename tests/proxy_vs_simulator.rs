@@ -64,10 +64,7 @@ fn proxy_hits_match_simulator_hits() {
     let origin = OriginServer::start(store).expect("origin");
     let proxy = ProxyServer::start(
         origin.addr(),
-        ProxyConfig {
-            capacity,
-            ttl: None,
-        },
+        ProxyConfig::new(capacity),
         Box::new(named::size()),
     )
     .expect("proxy");
@@ -101,10 +98,7 @@ fn proxy_log_validates_through_the_trace_pipeline() {
     let origin = OriginServer::start(store).expect("origin");
     let proxy = ProxyServer::start(
         origin.addr(),
-        ProxyConfig {
-            capacity: 10_000_000,
-            ttl: None,
-        },
+        ProxyConfig::new(10_000_000),
         Box::new(named::lru()),
     )
     .expect("proxy");
