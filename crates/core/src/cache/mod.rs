@@ -156,6 +156,29 @@ pub struct CacheStats {
     pub max_used: u64,
 }
 
+/// A complete snapshot of a cache's simulation-relevant state, as captured
+/// by [`Cache::export_state`] and reinstated by [`Cache::restore_state`].
+///
+/// The resident set is stored as plain [`DocMeta`] (sorted by URL for a
+/// deterministic encoding); policy order is *not* stored — restore replays
+/// the metadata through `on_insert`, which reconstructs every taxonomy
+/// policy's order exactly, then applies the opaque
+/// [`policy_state`](CacheState::policy_state) bytes for policies whose
+/// state depends on eviction history (GreedyDual-Size's inflation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    /// Configured capacity in bytes; a restore target must match.
+    pub capacity: u64,
+    /// Day counter driving periodic (end-of-day) policy runs.
+    pub current_day: u64,
+    /// Accumulated statistics at snapshot time.
+    pub stats: CacheStats,
+    /// Resident documents, sorted by URL.
+    pub docs: Vec<DocMeta>,
+    /// Opaque [`RemovalPolicy::export_state`] bytes.
+    pub policy_state: Vec<u8>,
+}
+
 /// A single-level proxy cache with a pluggable removal policy.
 ///
 /// Generic over its resident-set container (`S`); the default
@@ -430,6 +453,44 @@ impl<S: DocStore> Cache<S> {
         }
     }
 
+    /// Snapshot the cache's complete simulation state for a checkpoint.
+    pub fn export_state(&self) -> CacheState {
+        let mut docs: Vec<DocMeta> = self.docs.iter().copied().collect();
+        docs.sort_unstable_by_key(|m| m.url);
+        CacheState {
+            capacity: self.capacity,
+            current_day: self.current_day,
+            stats: self.stats,
+            docs,
+            policy_state: self.policy.export_state(),
+        }
+    }
+
+    /// Reinstate a snapshot into a freshly constructed cache (same
+    /// capacity, same policy, nothing resident). Each document is
+    /// re-inserted directly — bypassing [`Cache::insert_meta`], which
+    /// resets entry times and may evict — and then the policy's opaque
+    /// state is applied. Returns `false` if the snapshot is inconsistent
+    /// with this cache (wrong capacity, cache not empty, resident bytes
+    /// over capacity, or policy-state rejection); the cache is then in an
+    /// unspecified state and must be discarded.
+    pub fn restore_state(&mut self, state: &CacheState) -> bool {
+        if !self.docs.is_empty() || self.used != 0 || self.capacity != state.capacity {
+            return false;
+        }
+        for m in &state.docs {
+            self.docs.insert(*m);
+            self.used += m.size;
+            self.policy.on_insert(m);
+        }
+        if self.used > self.capacity || !self.policy.import_state(&state.policy_state) {
+            return false;
+        }
+        self.stats = state.stats;
+        self.current_day = state.current_day;
+        true
+    }
+
     /// Internal consistency check used by tests: accounted bytes equal the
     /// sum of resident sizes, within capacity, and the policy tracks
     /// exactly the resident set.
@@ -588,6 +649,80 @@ mod tests {
         assert_eq!(c.used(), 0);
         assert!(c.remove(UrlId(1)).is_none());
         c.check_invariants();
+    }
+
+    /// A deterministic pseudo-random request mix that exercises hits,
+    /// modified-size invalidations and evictions.
+    fn churn_req(i: u64) -> Request {
+        let url = (i * 2654435761 % 97) as u32;
+        let size = 10 + (i * 40503 % 7) * ((url as u64 % 5) + 1) * 10;
+        req(i * 700, url, size)
+    }
+
+    #[test]
+    fn export_restore_resumes_bit_identically() {
+        let policies: Vec<Box<dyn RemovalPolicy>> = vec![
+            Box::new(named::lru()),
+            Box::new(SortedPolicy::new(KeySpec::primary(Key::Size))),
+            Box::new(crate::policy::GreedyDualSize::new()),
+            Box::new(crate::policy::LruMin::new()),
+            Box::new(crate::policy::PitkowRecker::default()),
+        ];
+        for make in policies {
+            let name = make.name();
+            // Uninterrupted control run.
+            let mut control = Cache::new(2000, make);
+            // A parallel run snapshotted and cold-restored at request 500.
+            let mut first = Cache::new(2000, policy_by_name(&name));
+            for i in 0..500 {
+                control.request(&churn_req(i));
+                first.request(&churn_req(i));
+            }
+            let snap = first.export_state();
+            drop(first);
+            let mut resumed = Cache::new(2000, policy_by_name(&name));
+            assert!(resumed.restore_state(&snap), "restore failed for {name}");
+            resumed.check_invariants();
+            for i in 500..1500 {
+                control.request(&churn_req(i));
+                resumed.request(&churn_req(i));
+            }
+            assert_eq!(
+                control.stats(),
+                resumed.stats(),
+                "stats diverged for {name}"
+            );
+            assert_eq!(control.used(), resumed.used(), "usage diverged for {name}");
+        }
+    }
+
+    fn policy_by_name(name: &str) -> Box<dyn RemovalPolicy> {
+        match name {
+            "LRU" => Box::new(named::lru()),
+            "SIZE/RANDOM" => Box::new(SortedPolicy::new(KeySpec::primary(Key::Size))),
+            "GD-SIZE(1)" => Box::new(crate::policy::GreedyDualSize::new()),
+            "LRU-MIN" => Box::new(crate::policy::LruMin::new()),
+            "PITKOW-RECKER" => Box::new(crate::policy::PitkowRecker::default()),
+            other => panic!("no factory for {other}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_capacity_and_nonempty_target() {
+        let mut c = lru_cache(100);
+        c.request(&req(0, 1, 10));
+        let snap = c.export_state();
+        // Wrong capacity.
+        let mut wrong = lru_cache(200);
+        assert!(!wrong.restore_state(&snap));
+        // Non-empty target.
+        let mut busy = lru_cache(100);
+        busy.request(&req(0, 2, 10));
+        assert!(!busy.restore_state(&snap));
+        // Correct target restores.
+        let mut ok = lru_cache(100);
+        assert!(ok.restore_state(&snap));
+        assert!(ok.contains(UrlId(1)));
     }
 
     #[test]

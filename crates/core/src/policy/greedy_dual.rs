@@ -124,6 +124,66 @@ impl RemovalPolicy for GreedyDualSize {
         let h = *self.values.get(&url)?;
         Some(self.order.range(..(h, url)).count())
     }
+
+    /// GDS state depends on eviction history, not just resident metadata:
+    /// the inflation level `L` and each document's frozen `H` value cannot
+    /// be recomputed from `DocMeta`. Export them explicitly, sorted by url
+    /// so the byte encoding is deterministic.
+    fn export_state(&self) -> Vec<u8> {
+        let mut pairs: Vec<(UrlId, u64)> = self.values.iter().map(|(&u, &h)| (u, h)).collect();
+        pairs.sort_unstable_by_key(|&(u, _)| u);
+        let mut out = Vec::with_capacity(8 + pairs.len() * 12);
+        out.extend_from_slice(&self.inflation.to_le_bytes());
+        for (url, h) in pairs {
+            out.extend_from_slice(&url.0.to_le_bytes());
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out
+    }
+
+    /// Overwrite the replay-derived `H` values with the exported ones.
+    /// Every exported url must already be resident (replayed through
+    /// `on_insert`) and the counts must match exactly; anything else means
+    /// the checkpoint is inconsistent and the restore is rejected.
+    fn import_state(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() < 8 || !(bytes.len() - 8).is_multiple_of(12) {
+            return false;
+        }
+        let u64_at = |at: usize| {
+            bytes[at..at + 8]
+                .try_into()
+                .map(u64::from_le_bytes)
+                .unwrap_or_default()
+        };
+        let inflation = u64_at(0);
+        let pairs = (bytes.len() - 8) / 12;
+        if pairs != self.values.len() {
+            return false;
+        }
+        let mut updates = Vec::with_capacity(pairs);
+        for i in 0..pairs {
+            let at = 8 + i * 12;
+            let url = UrlId(
+                bytes[at..at + 4]
+                    .try_into()
+                    .map(u32::from_le_bytes)
+                    .unwrap_or_default(),
+            );
+            let h = u64_at(at + 4);
+            if !self.values.contains_key(&url) {
+                return false;
+            }
+            updates.push((url, h));
+        }
+        for (url, h) in updates {
+            if let Some(old) = self.values.insert(url, h) {
+                self.order.remove(&(old, url));
+            }
+            self.order.insert((h, url));
+        }
+        self.inflation = inflation;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +260,67 @@ mod tests {
         // cost/size = 1 for both: tie, broken by url id.
         assert_eq!(p.victim(0, 0), Some(UrlId(1)));
         assert_eq!(p.name(), "GD-SIZE(BYTES)");
+    }
+
+    #[test]
+    fn export_import_round_trips_inflation_and_values() {
+        // Build a policy with non-trivial history so inflation != 0 and the
+        // surviving docs carry H values a fresh replay could not recompute.
+        let mut p = GreedyDualSize::new();
+        let mut resident = Vec::new();
+        for i in 1..50u32 {
+            let m = meta(i, 100 + i as u64 * 37);
+            p.on_insert(&m);
+            resident.push(m);
+            if i % 3 == 0 {
+                let v = p.victim(0, 0).unwrap();
+                p.on_remove(v);
+                resident.retain(|m| m.url != v);
+            }
+        }
+        let state = p.export_state();
+
+        // Cold restore: replay resident metas in a different order, then
+        // import the exported state.
+        let mut q = GreedyDualSize::new();
+        for m in resident.iter().rev() {
+            q.on_insert(m);
+        }
+        assert!(q.import_state(&state));
+        assert_eq!(p.inflation, q.inflation);
+        assert_eq!(p.order, q.order);
+
+        // Both must now pick identical victims forever.
+        for _ in 0..resident.len() {
+            let a = p.victim(0, 0);
+            let b = q.victim(0, 0);
+            assert_eq!(a, b);
+            if let Some(v) = a {
+                p.on_remove(v);
+                q.on_remove(v);
+            }
+        }
+    }
+
+    #[test]
+    fn import_rejects_inconsistent_state() {
+        let mut p = GreedyDualSize::new();
+        p.on_insert(&meta(1, 10));
+        // Truncated / misaligned byte strings.
+        assert!(!p.import_state(&[0u8; 4]));
+        assert!(!p.import_state(&[0u8; 15]));
+        // Count mismatch: export from a policy with two docs.
+        let mut two = GreedyDualSize::new();
+        two.on_insert(&meta(1, 10));
+        two.on_insert(&meta(2, 10));
+        assert!(!p.import_state(&two.export_state()));
+        // Non-resident url in the export.
+        let mut other = GreedyDualSize::new();
+        other.on_insert(&meta(9, 10));
+        assert!(!p.import_state(&other.export_state()));
+        // A valid self-export still imports.
+        let state = p.export_state();
+        assert!(p.import_state(&state));
     }
 
     #[test]

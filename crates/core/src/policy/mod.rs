@@ -94,6 +94,25 @@ pub trait RemovalPolicy: Send {
     fn periodic_target(&self, _now: Timestamp, _used: u64, _capacity: u64) -> Option<u64> {
         None
     }
+
+    /// Serialize any policy state that a checkpoint restore cannot
+    /// reconstruct by replaying [`RemovalPolicy::on_insert`] over the
+    /// resident documents' metadata. Most policies derive their entire
+    /// order from `DocMeta` fields and return an empty vector (the
+    /// default); GreedyDual-Size exports its inflation value and per-doc
+    /// H values, which depend on eviction history.
+    fn export_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state exported by [`RemovalPolicy::export_state`], called
+    /// *after* the resident set has been replayed through `on_insert`.
+    /// Returns `false` when the bytes are malformed or inconsistent with
+    /// the resident set (the caller must then discard the checkpoint).
+    /// The default accepts exactly the default export: empty bytes.
+    fn import_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
 }
 
 /// A policy that never evicts; pair it with [`Cache::infinite`]

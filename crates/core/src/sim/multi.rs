@@ -99,6 +99,30 @@ impl<'t> MultiSim<'t> {
             .collect()
     }
 
+    /// Like [`run`](MultiSim::run), but a panicking lane no longer takes
+    /// the whole sweep down: each lane is driven under
+    /// [`catch_unwind`](std::panic::catch_unwind) and reports
+    /// `Err(panic message)` while every other lane's result is salvaged.
+    /// Output order still matches input order, and `Ok` results are still
+    /// bit-identical to serial [`simulate_policy`].
+    pub fn run_checked(
+        &self,
+        policies: Vec<(String, Box<dyn RemovalPolicy>)>,
+    ) -> Vec<(String, Result<SimResult, String>)> {
+        let trace = self.trace;
+        let capacity = self.capacity;
+        policies
+            .into_par_iter()
+            .map(|(label, policy)| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::sim::simulate_policy(trace, capacity, policy)
+                }))
+                .map_err(panic_message);
+                (label, result)
+            })
+            .collect()
+    }
+
     /// Like [`run`](MultiSim::run), but every lane also feeds each
     /// `(request, outcome)` pair into a per-lane observer state built by
     /// `init` — how Experiment 5 computes text-only hit rates and latency
@@ -154,6 +178,14 @@ impl<'t> MultiSim<'t> {
             })
             .collect()
     }
+}
+
+/// Human-readable message from a caught lane panic.
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    e.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| e.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "lane panicked with a non-string payload".to_string())
 }
 
 /// How many lanes share one day-ordered trace pass. Day-interleaving many
@@ -283,6 +315,67 @@ mod tests {
             assert_eq!(*seen, total.requests);
             assert_eq!(*hit_bytes, total.bytes_hit);
         }
+    }
+
+    /// A policy that panics after a fixed number of insertions, for
+    /// exercising the salvage path.
+    struct PanicAfter {
+        inner: Box<dyn RemovalPolicy>,
+        inserts_left: u32,
+    }
+
+    impl RemovalPolicy for PanicAfter {
+        fn name(&self) -> String {
+            "PANIC-AFTER".to_string()
+        }
+        fn on_insert(&mut self, meta: &crate::cache::DocMeta) {
+            if self.inserts_left == 0 {
+                panic!("synthetic lane failure");
+            }
+            self.inserts_left -= 1;
+            self.inner.on_insert(meta);
+        }
+        fn on_access(&mut self, meta: &crate::cache::DocMeta) {
+            self.inner.on_access(meta);
+        }
+        fn on_remove(&mut self, url: webcache_trace::UrlId) {
+            self.inner.on_remove(url);
+        }
+        fn victim(
+            &mut self,
+            now: webcache_trace::Timestamp,
+            incoming_size: u64,
+        ) -> Option<webcache_trace::UrlId> {
+            self.inner.victim(now, incoming_size)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+    }
+
+    #[test]
+    fn run_checked_salvages_healthy_lanes() {
+        let t = trace();
+        let cap = 2_000;
+        let out = MultiSim::new(&t, cap).run_checked(vec![
+            ("LRU".into(), Box::new(named::lru())),
+            (
+                "BROKEN".into(),
+                Box::new(PanicAfter {
+                    inner: Box::new(named::lru()),
+                    inserts_left: 5,
+                }),
+            ),
+            ("SIZE".into(), Box::new(named::size())),
+        ]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, "LRU");
+        assert_eq!(out[2].0, "SIZE");
+        let err = out[1].1.as_ref().unwrap_err();
+        assert!(err.contains("synthetic lane failure"), "got: {err}");
+        // Healthy lanes still match serial simulation exactly.
+        let want = simulate_policy(&t, cap, Box::new(named::lru()));
+        assert_same(out[0].1.as_ref().unwrap(), &want);
     }
 
     #[test]

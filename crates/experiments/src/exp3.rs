@@ -61,15 +61,48 @@ pub fn run_one(ctx: &Ctx, workload: &str, cache_fraction: f64) -> Exp3Workload {
     }
 }
 
+/// Experiment 3 output across workloads, with per-workload salvage: a
+/// workload whose simulation panics is reported in `failed` instead of
+/// discarding every other workload's completed rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exp3Output {
+    /// Completed workload rows, in the paper's workload order.
+    pub rows: Vec<Exp3Workload>,
+    /// True when at least one workload failed and `rows` is incomplete.
+    pub partial: bool,
+    /// `(workload, error)` for each failed workload.
+    pub failed: Vec<(String, String)>,
+}
+
 /// Run Experiment 3 on the workloads the paper plots (BR, C, G) plus the
 /// other two for completeness, one workload per thread. Output keeps the
-/// paper's workload order.
-pub fn run(ctx: &Ctx, cache_fraction: f64) -> Vec<Exp3Workload> {
-    crate::runner::WORKLOADS
+/// paper's workload order; a failing workload is salvaged into
+/// [`failed`](Exp3Output::failed) rather than dropping the whole sweep.
+pub fn run(ctx: &Ctx, cache_fraction: f64) -> Exp3Output {
+    let outcomes: Vec<(&str, Result<Exp3Workload, String>)> = crate::runner::WORKLOADS
         .as_slice()
         .par_iter()
-        .map(|w| run_one(ctx, w, cache_fraction))
-        .collect()
+        .map(|&w| {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_one(ctx, w, cache_fraction)
+            }))
+            .map_err(crate::runner::panic_message);
+            (w, r)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut failed = Vec::new();
+    for (w, r) in outcomes {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(e) => failed.push((w.to_string(), e)),
+        }
+    }
+    Exp3Output {
+        rows,
+        partial: !failed.is_empty(),
+        failed,
+    }
 }
 
 /// Render the Experiment 3 summary table.
@@ -183,6 +216,18 @@ mod tests {
             r.l2_hr,
             single.l2_hr
         );
+    }
+
+    #[test]
+    fn run_covers_all_workloads_with_no_failures() {
+        let ctx = Ctx::with_scale(0.01, 13);
+        let out = run(&ctx, 0.1);
+        assert_eq!(out.rows.len(), crate::runner::WORKLOADS.len());
+        assert!(!out.partial);
+        assert!(out.failed.is_empty());
+        // Paper's order preserved for the salvaged rows.
+        let names: Vec<&str> = out.rows.iter().map(|r| r.workload.as_str()).collect();
+        assert_eq!(names, crate::runner::WORKLOADS.to_vec());
     }
 
     #[test]

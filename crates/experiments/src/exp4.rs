@@ -46,6 +46,11 @@ pub struct Exp4 {
     pub infinite_non_audio_whr: f64,
     /// Runs for audio fractions 1/4, 1/2, 3/4.
     pub runs: Vec<PartitionRun>,
+    /// True when at least one partition configuration failed and `runs` is
+    /// incomplete.
+    pub partial: bool,
+    /// `(audio fraction, error)` for each failed configuration.
+    pub failed: Vec<(String, String)>,
 }
 
 /// Audio/non-audio byte-hit shares of an infinite cache, over all
@@ -82,9 +87,12 @@ pub fn run(ctx: &Ctx, workload: &str, cache_fraction: f64) -> Exp4 {
     let capacity = ((max_needed as f64 * cache_fraction) as u64).max(4);
     let (infinite_audio_whr, infinite_non_audio_whr) = infinite_split(ctx, workload);
 
-    let runs = [0.25, 0.5, 0.75]
-        .into_iter()
-        .map(|audio_fraction| {
+    let mut runs = Vec::new();
+    let mut failed = Vec::new();
+    for audio_fraction in [0.25, 0.5, 0.75] {
+        // One failing partition configuration must not discard the
+        // completed configurations' results.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut system =
                 PartitionedCache::audio_split(capacity, audio_fraction, || Box::new(named::size()));
             let res = simulate(&trace, &mut system, "partitioned");
@@ -99,14 +107,20 @@ pub fn run(ctx: &Ctx, workload: &str, cache_fraction: f64) -> Exp4 {
                 non_audio_whr: non.total.weighted_hit_rate(),
                 total_whr: total.total.weighted_hit_rate(),
             }
-        })
-        .collect();
+        }));
+        match outcome {
+            Ok(r) => runs.push(r),
+            Err(e) => failed.push((format!("{audio_fraction}"), crate::runner::panic_message(e))),
+        }
+    }
     Exp4 {
         workload: workload.to_string(),
         capacity,
         infinite_audio_whr,
         infinite_non_audio_whr,
         runs,
+        partial: !failed.is_empty(),
+        failed,
     }
 }
 
@@ -147,7 +161,7 @@ impl Exp4 {
         self.runs
             .iter()
             .max_by(|a, b| a.total_whr.total_cmp(&b.total_whr))
-            .expect("three runs")
+            .expect("at least one completed run")
     }
 }
 

@@ -1,7 +1,9 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--scale F] [--seed N] [--json DIR] <command> [args]
+//! experiments [--scale F] [--seed N] [--json DIR]
+//!             [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]
+//!             <command> [args]
 //!
 //! Commands:
 //!   table1 | table3            definitional tables
@@ -16,9 +18,16 @@
 //!   exp4 [FRAC]                partitioned cache on BR
 //!   all                        everything above, in order
 //! ```
+//!
+//! With `--checkpoint-dir`, exp1 and exp2 sweeps run supervised: state is
+//! checkpointed every `--checkpoint-interval` records (default 100000),
+//! SIGINT/SIGTERM flush a final checkpoint and exit 130, and `--resume`
+//! continues from the latest valid checkpoint — the final results are
+//! bit-identical to an uninterrupted run.
 
 use std::io::Write as _;
-use webcache_experiments::{exp1, exp2, exp3, exp4, exp5, figures, Ctx};
+use std::path::PathBuf;
+use webcache_experiments::{exp1, exp2, exp3, exp4, exp5, figures, lifecycle, Ctx, Supervisor};
 
 /// Report a usage error and exit with status 2 (conventional bad-usage).
 fn usage_error(msg: &str) -> ! {
@@ -53,11 +62,32 @@ fn write_json_atomic(dir: &str, name: &str, json: &str) -> std::io::Result<Strin
     result.map(|()| path)
 }
 
+/// Report an interrupted supervised sweep and exit 130 (conventional
+/// SIGINT status). The final checkpoint is already flushed to disk.
+fn interrupted() -> ! {
+    eprintln!("sweep interrupted; rerun with --resume to continue");
+    std::process::exit(130);
+}
+
+/// Warn on stderr about policy lanes salvaged out of a partial Experiment
+/// 2 result.
+fn report_failed_lanes(e: &exp2::Exp2Workload) {
+    for (policy, err) in &e.failed {
+        eprintln!(
+            "warning: workload {} policy {policy} failed: {err} (healthy lanes kept, partial: true)",
+            e.workload
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut seed = 1u64;
     let mut json_dir: Option<String> = None;
+    let mut ckpt_dir: Option<String> = None;
+    let mut ckpt_interval = 100_000u64;
+    let mut resume = false;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -70,9 +100,29 @@ fn main() {
                         .unwrap_or_else(|| usage_error("--json requires a directory")),
                 )
             }
+            "--checkpoint-dir" => {
+                ckpt_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--checkpoint-dir requires a directory")),
+                )
+            }
+            "--checkpoint-interval" => {
+                ckpt_interval = parse_flag("--checkpoint-interval", it.next())
+            }
+            "--resume" => resume = true,
             _ => rest.push(a),
         }
     }
+    if resume && ckpt_dir.is_none() {
+        usage_error("--resume requires --checkpoint-dir");
+    }
+    let sup = match &ckpt_dir {
+        Some(d) => {
+            lifecycle::install_signal_handlers();
+            Supervisor::new(PathBuf::from(d), resume, ckpt_interval)
+        }
+        None => Supervisor::disabled(),
+    };
     let ctx = match Ctx::try_with_scale(scale, seed) {
         Ok(ctx) => ctx,
         Err(e) => usage_error(&e.to_string()),
@@ -147,11 +197,20 @@ fn main() {
             }
         }
         "exp1" => {
-            let e = match arg(1) {
-                Some(_) => exp1::Exp1 {
-                    workloads: vec![exp1::run_one(&ctx, &wl_arg(1, "BL"))],
-                },
-                None => exp1::run(&ctx),
+            let e = if sup.enabled() {
+                match arg(1) {
+                    Some(_) => exp1::run_one_supervised(&ctx, &sup, &wl_arg(1, "BL"))
+                        .map(|w| exp1::Exp1 { workloads: vec![w] }),
+                    None => exp1::run_supervised(&ctx, &sup),
+                }
+                .unwrap_or_else(|| interrupted())
+            } else {
+                match arg(1) {
+                    Some(_) => exp1::Exp1 {
+                        workloads: vec![exp1::run_one(&ctx, &wl_arg(1, "BL"))],
+                    },
+                    None => exp1::run(&ctx),
+                }
             };
             save("exp1", &e);
             for w in &e.workloads {
@@ -175,7 +234,13 @@ fn main() {
                     .collect(),
             };
             for w in &workloads {
-                let e = exp2::run_one(&ctx, w, frac, set);
+                let e = if sup.enabled() {
+                    exp2::run_one_supervised(&ctx, &sup, w, frac, set)
+                        .unwrap_or_else(|| interrupted())
+                } else {
+                    exp2::run_one(&ctx, w, frac, set)
+                };
+                report_failed_lanes(&e);
                 save(&format!("exp2_{w}"), &e);
                 println!("{}", e.figure());
                 println!("{}", e.table());
@@ -184,15 +249,22 @@ fn main() {
         "exp2b" => {
             let wl = &wl_arg(1, "G");
             let frac: f64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            sup.heartbeat("exp2b", &format!("exp2b-{wl}"), 0);
             let s = exp2::run_secondary(&ctx, wl, frac);
             save("exp2b", &s);
             println!("{}", s.table());
         }
         "exp3" => {
             let frac: f64 = arg(1).and_then(|v| v.parse().ok()).unwrap_or(0.1);
-            let rows = exp3::run(&ctx, frac);
-            save("exp3", &rows);
-            println!("{}", exp3::table(&rows));
+            sup.heartbeat("exp3", "exp3", 0);
+            let out = exp3::run(&ctx, frac);
+            for (w, err) in &out.failed {
+                eprintln!(
+                    "warning: workload {w} failed: {err} (completed rows kept, partial: true)"
+                );
+            }
+            save("exp3", &out);
+            println!("{}", exp3::table(&out.rows));
         }
         "exp3-shared" => {
             let wl = &wl_arg(1, "BL");
@@ -212,6 +284,9 @@ fn main() {
         "exp5" => {
             let wl = &wl_arg(1, "BL");
             let frac: f64 = arg(2).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            // Exp5's observer lanes are not checkpointable (see its module
+            // docs); under supervision it still reports liveness.
+            sup.heartbeat("exp5", &format!("exp5-{wl}"), 0);
             let runs = exp5::run(&ctx, wl, frac);
             save("exp5", &runs);
             println!("{}", exp5::table(wl, &runs));
@@ -269,7 +344,14 @@ fn main() {
         }
         "exp4" => {
             let frac: f64 = arg(1).and_then(|v| v.parse().ok()).unwrap_or(0.1);
+            sup.heartbeat("exp4", "exp4-BR", 0);
             let e = exp4::run(&ctx, "BR", frac);
+            for (fraction, err) in &e.failed {
+                eprintln!(
+                    "warning: audio fraction {fraction} failed: {err} \
+                     (completed configurations kept, partial: true)"
+                );
+            }
             save("exp4", &e);
             println!("{}", e.table());
         }
@@ -283,31 +365,48 @@ fn main() {
                 "{}",
                 figures::render_fig13(&figures::fig13(&ctx, "BL"), "BL")
             );
-            let e1 = exp1::run(&ctx);
+            let e1 = if sup.enabled() {
+                exp1::run_supervised(&ctx, &sup).unwrap_or_else(|| interrupted())
+            } else {
+                exp1::run(&ctx)
+            };
             save("exp1", &e1);
             println!("{}", e1.summary_table(ctx.scale()));
             for w in webcache_experiments::runner::WORKLOADS {
-                let e = exp2::run_one(&ctx, w, 0.1, exp2::PolicySet::Figures);
+                let e = if sup.enabled() {
+                    exp2::run_one_supervised(&ctx, &sup, w, 0.1, exp2::PolicySet::Figures)
+                        .unwrap_or_else(|| interrupted())
+                } else {
+                    exp2::run_one(&ctx, w, 0.1, exp2::PolicySet::Figures)
+                };
+                report_failed_lanes(&e);
                 save(&format!("exp2_{w}"), &e);
                 println!("{}", e.table());
             }
             let s = exp2::run_secondary(&ctx, "G", 0.1);
             save("exp2b", &s);
             println!("{}", s.table());
+            sup.heartbeat("exp3", "exp3", 0);
             let e3 = exp3::run(&ctx, 0.1);
             save("exp3", &e3);
-            println!("{}", exp3::table(&e3));
+            println!("{}", exp3::table(&e3.rows));
+            sup.heartbeat("exp4", "exp4-BR", 0);
             let e4 = exp4::run(&ctx, "BR", 0.1);
             save("exp4", &e4);
             println!("{}", e4.table());
         }
         _ => {
             println!(
-                "usage: experiments [--scale F] [--seed N] [--json DIR] <command>\n\
+                "usage: experiments [--scale F] [--seed N] [--json DIR]\n\
+                 \x20                  [--checkpoint-dir DIR] [--checkpoint-interval N] [--resume]\n\
+                 \x20                  <command>\n\
                  commands: table1 table3 table4 fig1 fig2 fig13 fig14\n\
                  exp1 [WL] | exp2 [WL] [FRAC] [figures|primaries|all36|named] |\n\
                  exp2b [WL] [FRAC] | exp3 [FRAC] | exp3-shared WL [GROUPS] | exp4 [FRAC] |\n\
-                 exp5 [WL] [FRAC] | replicate [WL] [SEEDS] | all"
+                 exp5 [WL] [FRAC] | replicate [WL] [SEEDS] | all\n\
+                 --checkpoint-dir enables crash-safe supervised sweeps (exp1/exp2):\n\
+                 state is checkpointed every --checkpoint-interval records (default 100000)\n\
+                 and --resume continues bit-identically after a crash or signal"
             );
         }
     }

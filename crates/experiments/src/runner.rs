@@ -115,13 +115,24 @@ impl Ctx {
         self.scale
     }
 
+    /// The context's workload-generator seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Scale in parts-per-million — the exact integral form embedded in
+    /// pack-file names and checkpoint metadata, so equality checks never
+    /// compare floats.
+    pub fn scale_ppm(&self) -> u64 {
+        (self.scale * 1e6).round() as u64
+    }
+
     /// Path of the packed cache file for a workload under this context's
     /// `(scale, seed)`, if a pack directory is configured. Scale is keyed
     /// in parts-per-million so distinct scales never collide in one file.
     fn pack_path(&self, name: &str) -> Option<PathBuf> {
         let dir = self.pack_dir.as_ref()?;
-        let ppm = (self.scale * 1e6).round() as u64;
-        Some(dir.join(format!("{name}-s{ppm}-r{}.wct", self.seed)))
+        Some(dir.join(format!("{name}-s{}-r{}.wct", self.scale_ppm(), self.seed)))
     }
 
     /// The (possibly scaled) trace for a workload, generated on first use.
@@ -214,6 +225,34 @@ pub fn parallel_sims(
         .map(|(name, policy)| (name, policy as Box<dyn RemovalPolicy>))
         .collect();
     MultiSim::new(trace, capacity).run(lanes)
+}
+
+/// Fault-tolerant variant of [`parallel_sims`]: a lane that panics yields
+/// `Err(message)` in place, instead of poisoning the whole sweep and
+/// dropping every completed lane's result. Callers salvage the `Ok` lanes
+/// into their output JSON with a `"partial": true` marker.
+pub fn parallel_sims_checked(
+    trace: &Trace,
+    capacity: u64,
+    policies: Vec<(String, Box<dyn RemovalPolicy + Send>)>,
+) -> Vec<(String, Result<SimResult, String>)> {
+    let lanes = policies
+        .into_iter()
+        .map(|(name, policy)| (name, policy as Box<dyn RemovalPolicy>))
+        .collect();
+    MultiSim::new(trace, capacity).run_checked(lanes)
+}
+
+/// Render a `catch_unwind` payload as a one-line message for partial-result
+/// markers.
+pub fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,237 @@
+//! End-to-end acceptance for crash-safe resumable sweeps: killing a sweep
+//! at an arbitrary record and resuming from the flushed checkpoint must
+//! reproduce the uninterrupted run **bit-identically**, for every
+//! workload. Also exercises corrupt/stale checkpoint rejection and the
+//! supervised exp1 interrupt-resume-salvage lifecycle.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use webcache_core::policy::{named, GreedyDualSize, RemovalPolicy};
+use webcache_core::sim::{run_resumable, SimResult, SweepCheckpoint, SweepMeta, SweepOutcome};
+use webcache_experiments::{exp1, lifecycle, Ctx, Supervisor};
+use webcache_trace::binfmt::trace_content_hash;
+use webcache_trace::Trace;
+
+const WORKLOADS: [&str; 5] = ["U", "G", "C", "BR", "BL"];
+
+/// Small enough to force heavy eviction at 1% scale in every workload.
+const CAPACITY: u64 = 1 << 20;
+
+fn ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| Ctx::with_scale(0.01, 5))
+}
+
+/// Two lanes covering both restore strategies: LRU rebuilds its order by
+/// replay, GreedyDual-Size carries explicit exported state.
+fn lanes() -> Vec<(String, Box<dyn RemovalPolicy>)> {
+    vec![
+        ("LRU".into(), Box::new(named::lru()) as _),
+        ("GD-SIZE(1)".into(), Box::new(GreedyDualSize::new()) as _),
+    ]
+}
+
+fn meta_for(workload: &str, trace: &Trace) -> SweepMeta {
+    SweepMeta {
+        experiment: "resume-test".into(),
+        workload: workload.into(),
+        capacity: CAPACITY,
+        trace_hash: trace_content_hash(trace),
+        seed: ctx().seed(),
+        scale_ppm: ctx().scale_ppm(),
+    }
+}
+
+/// Canonical byte-comparable form of a sweep's results.
+fn results_json(results: &[(String, SimResult)]) -> String {
+    let labels: Vec<&str> = results.iter().map(|(l, _)| l.as_str()).collect();
+    let sims: Vec<&SimResult> = results.iter().map(|(_, r)| r).collect();
+    format!("{labels:?}|{}", serde_json::to_string(&sims).unwrap())
+}
+
+/// The uninterrupted run's results for one workload, memoised across
+/// tests (it is the shared baseline of every kill point).
+fn baseline_json(workload: &str) -> String {
+    static BASE: OnceLock<Mutex<HashMap<String, String>>> = OnceLock::new();
+    let cache = BASE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(j) = cache.lock().unwrap().get(workload) {
+        return j.clone();
+    }
+    let trace = ctx().trace(workload);
+    let meta = meta_for(workload, &trace);
+    let outcome = run_resumable(&trace, &meta, lanes(), None, 0, None, &mut |_| {}).unwrap();
+    let json = match outcome {
+        SweepOutcome::Complete(r) => results_json(&r),
+        SweepOutcome::Interrupted(_) => unreachable!("no stop flag raised"),
+    };
+    cache
+        .lock()
+        .unwrap()
+        .insert(workload.to_string(), json.clone());
+    json
+}
+
+/// Run with a checkpoint flushed (and the sweep killed) at exactly
+/// `kill_at` records, then resume a "fresh process" from nothing but the
+/// checkpoint bytes. Returns the completed results.
+fn run_killed_then_resumed(
+    trace: &Trace,
+    meta: &SweepMeta,
+    kill_at: u64,
+) -> Vec<(String, SimResult)> {
+    let stop = AtomicBool::new(false);
+    let mut saved: Option<Vec<u8>> = None;
+    let outcome = run_resumable(
+        trace,
+        meta,
+        lanes(),
+        None,
+        kill_at,
+        Some(&stop),
+        &mut |c: &SweepCheckpoint| {
+            if saved.is_none() {
+                assert_eq!(c.records_done, kill_at, "kill point drifted");
+                saved = Some(c.to_bytes());
+                stop.store(true, Ordering::SeqCst);
+            }
+        },
+    )
+    .unwrap();
+    if let SweepOutcome::Complete(r) = outcome {
+        // kill_at beyond the trace end: nothing to resume.
+        return r;
+    }
+    let ckpt = SweepCheckpoint::from_bytes(&saved.expect("checkpoint flushed"))
+        .expect("flushed checkpoint must decode");
+    match run_resumable(trace, meta, lanes(), Some(&ckpt), 0, None, &mut |_| {}).unwrap() {
+        SweepOutcome::Complete(r) => r,
+        SweepOutcome::Interrupted(_) => unreachable!("no stop flag raised on resume"),
+    }
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_on_every_workload() {
+    for w in WORKLOADS {
+        let trace = ctx().trace(w);
+        let len = trace.len() as u64;
+        let base = baseline_json(w);
+        for kill_at in [1, len / 2, len - 1] {
+            let resumed = results_json(&run_killed_then_resumed(
+                &trace,
+                &meta_for(w, &trace),
+                kill_at,
+            ));
+            assert_eq!(
+                base, resumed,
+                "workload {w}, kill at record {kill_at}/{len}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6 })]
+
+    /// Acceptance: kill at an *arbitrary* record of an arbitrary workload
+    /// and the resumed sweep's result JSON is byte-identical.
+    #[test]
+    fn arbitrary_kill_point_resumes_bit_identically(
+        wi in 0usize..WORKLOADS.len(),
+        frac in 0.0f64..1.0,
+    ) {
+        let w = WORKLOADS[wi];
+        let trace = ctx().trace(w);
+        let len = trace.len() as u64;
+        let kill_at = ((frac * len as f64) as u64).clamp(1, len - 1);
+        let resumed = results_json(&run_killed_then_resumed(&trace, &meta_for(w, &trace), kill_at));
+        prop_assert_eq!(baseline_json(w), resumed);
+    }
+}
+
+#[test]
+fn corrupt_and_stale_checkpoints_are_rejected() {
+    let trace = ctx().trace("C");
+    let meta = meta_for("C", &trace);
+    let stop = AtomicBool::new(false);
+    let mut saved: Option<Vec<u8>> = None;
+    let _ = run_resumable(
+        &trace,
+        &meta,
+        lanes(),
+        None,
+        (trace.len() / 2).max(1) as u64,
+        Some(&stop),
+        &mut |c: &SweepCheckpoint| {
+            saved = Some(c.to_bytes());
+            stop.store(true, Ordering::SeqCst);
+        },
+    )
+    .unwrap();
+    let good = saved.expect("checkpoint flushed");
+
+    // A flipped byte anywhere must fail the container checksums.
+    let mut bad = good.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x10;
+    assert!(
+        SweepCheckpoint::from_bytes(&bad).is_err(),
+        "corrupt checkpoint decoded"
+    );
+
+    // A structurally valid checkpoint for a different seed must be
+    // refused at resume validation, not silently continued.
+    let ckpt = SweepCheckpoint::from_bytes(&good).unwrap();
+    let mut other = meta.clone();
+    other.seed += 1;
+    match run_resumable(&trace, &other, lanes(), Some(&ckpt), 0, None, &mut |_| {}) {
+        Err(e) => assert!(
+            e.to_string().contains("metadata mismatch"),
+            "unexpected error: {e}"
+        ),
+        Ok(_) => panic!("stale checkpoint accepted"),
+    }
+}
+
+#[test]
+fn supervised_exp1_interrupt_then_resume_matches_uninterrupted() {
+    let dir = std::env::temp_dir().join(format!("wcp_resume_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Raise the stop flag up front: the supervised cell checkpoints at its
+    // first stride boundary and reports interruption, exactly as a SIGINT
+    // mid-sweep would.
+    lifecycle::request_stop();
+    let sup = Supervisor::new(dir.clone(), true, 1000);
+    let first = exp1::run_one_supervised(ctx(), &sup, "C");
+    lifecycle::reset_stop();
+    assert!(first.is_none(), "stop flag ignored");
+    assert!(dir.join("exp1-C.wcp").exists(), "no checkpoint flushed");
+
+    // Resume: the cell completes from the checkpoint, salvages its result,
+    // and the derived row is bit-identical to a never-interrupted run.
+    let resumed = exp1::run_one_supervised(ctx(), &sup, "C").expect("resume completes");
+    let fresh = exp1::run_one(ctx(), "C");
+    assert_eq!(
+        serde_json::to_string(&resumed).unwrap(),
+        serde_json::to_string(&fresh).unwrap(),
+        "resumed exp1 row diverged from uninterrupted run"
+    );
+    assert!(
+        dir.join("exp1-C.result.wcp").exists(),
+        "result not salvaged"
+    );
+    assert!(
+        !dir.join("exp1-C.wcp").exists(),
+        "checkpoint not cleaned after completion"
+    );
+    // A third call serves the salvage without recomputing.
+    let served = exp1::run_one_supervised(ctx(), &sup, "C").expect("salvage served");
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&fresh).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

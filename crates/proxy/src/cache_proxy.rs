@@ -770,6 +770,110 @@ mod tests {
     }
 
     #[test]
+    fn failed_half_open_probe_reopens_the_breaker() {
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let proxy = ProxyServer::start(
+            dead,
+            ProxyConfig::new(100_000)
+                .with_retries(0, Duration::from_millis(1))
+                .with_breaker(2, 2),
+            Box::new(named::size()),
+        )
+        .unwrap();
+        // Two failures trip the breaker.
+        get(&proxy, "http://o.test/a.html");
+        get(&proxy, "http://o.test/a.html");
+        assert_eq!(proxy.stats().breaker_trips, 1);
+        // Inside the cooldown: fast-fail, no network attempt.
+        assert_eq!(get(&proxy, "http://o.test/a.html").status, 503);
+        assert_eq!(proxy.stats().breaker_fast_fails, 1);
+        // Cooldown elapsed: the half-open probe gets one real attempt; its
+        // failure must re-open the breaker immediately (second trip), not
+        // restart the closed-state failure count.
+        let probe = get(&proxy, "http://o.test/a.html");
+        assert_eq!(
+            probe.status, 502,
+            "probe is a real attempt, not a fast-fail"
+        );
+        assert_eq!(proxy.stats().breaker_trips, 2);
+        // And the re-opened breaker fast-fails again.
+        assert_eq!(get(&proxy, "http://o.test/a.html").status, 503);
+        let s = proxy.stats();
+        assert_eq!(s.breaker_fast_fails, 2);
+        assert_eq!(s.origin_failures, 3, "two trip failures + the probe");
+    }
+
+    #[test]
+    fn breakers_are_independent_per_origin_host() {
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let proxy = ProxyServer::start(
+            dead,
+            ProxyConfig::new(100_000)
+                .with_retries(0, Duration::from_millis(1))
+                .with_breaker(2, 1000),
+            Box::new(named::size()),
+        )
+        .unwrap();
+        // Trip a.test's breaker.
+        get(&proxy, "http://a.test/x");
+        get(&proxy, "http://a.test/x");
+        assert_eq!(proxy.stats().breaker_trips, 1);
+        assert_eq!(get(&proxy, "http://a.test/x").status, 503);
+        // b.test must not inherit a.test's open breaker: it still gets a
+        // real attempt (502 exhausted, not 503 fast-fail).
+        let r = get(&proxy, "http://b.test/y");
+        assert_eq!(r.status, 502, "b.test inherited a.test's breaker");
+        assert_eq!(
+            proxy.stats().breaker_fast_fails,
+            1,
+            "only a.test fast-failed"
+        );
+        // And b.test trips on its own failure count.
+        get(&proxy, "http://b.test/y");
+        assert_eq!(proxy.stats().breaker_trips, 2);
+        assert_eq!(get(&proxy, "http://b.test/y").status, 503);
+    }
+
+    #[test]
+    fn serve_stale_leaves_breaker_state_intact() {
+        let store = Arc::new(DocStore::new());
+        store.put_synthetic("http://o.test/a.html", 1000, 10);
+        let origin = OriginServer::start(store).unwrap();
+        let config = ProxyConfig::new(100_000)
+            .with_ttl(1)
+            .with_retries(0, Duration::from_millis(1))
+            .with_breaker(2, 1000);
+        let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
+        // Cache a copy, then lose the origin.
+        assert_eq!(get(&proxy, "http://o.test/a.html").status, 200);
+        drop(origin);
+        // Two uncached fetches fail and trip the host's breaker.
+        get(&proxy, "http://o.test/b.gif");
+        get(&proxy, "http://o.test/c.au");
+        assert_eq!(proxy.stats().breaker_trips, 1);
+        // The expired copy revalidates into the open breaker: served stale
+        // (degraded) off the fast-fail, with no network attempt.
+        let r = get(&proxy, "http://o.test/a.html");
+        assert_eq!(r.status, 200, "stale copy must survive an open breaker");
+        assert!(r.is_cache_hit());
+        assert!(r.is_degraded());
+        let s = proxy.stats();
+        assert_eq!(s.stale_serves, 1);
+        assert_eq!(s.breaker_fast_fails, 1);
+        // The stale serve must not close, reset, or re-trip the breaker:
+        // the next uncached fetch is still fast-failed.
+        assert_eq!(get(&proxy, "http://o.test/d.html").status, 503);
+        assert_eq!(proxy.stats().breaker_trips, 1);
+        assert_eq!(proxy.stats().breaker_fast_fails, 2);
+    }
+
+    #[test]
     fn stale_copy_is_served_degraded_when_origin_dies() {
         let (origin, proxy) = setup_resilient(Some(1));
         let first = get(&proxy, "http://o.test/a.html");

@@ -88,8 +88,8 @@ pub fn rank_points(desc_counts: &[u64], max_points: usize) -> Vec<(usize, u64)> 
         }
         r *= ratio;
     }
-    if last < desc_counts.len() {
-        out.push((desc_counts.len(), *desc_counts.last().unwrap()));
+    if let (true, Some(&tail)) = (last < desc_counts.len(), desc_counts.last()) {
+        out.push((desc_counts.len(), tail));
     }
     out
 }

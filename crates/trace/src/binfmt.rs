@@ -77,6 +77,14 @@ pub const HEADER_SIZE: usize = 80;
 pub const FOOTER_MAGIC: [u8; 4] = *b"WCTS";
 /// Size of the checksum footer in bytes (version ≥ 2).
 pub const FOOTER_SIZE: usize = 40;
+/// Checkpoint container magic: "WCP" + format generation byte.
+pub const CKPT_MAGIC: [u8; 4] = *b"WCP\x01";
+/// Checkpoint container footer magic.
+pub const CKPT_FOOTER_MAGIC: [u8; 4] = *b"WCPS";
+/// Current checkpoint container version.
+pub const CKPT_VERSION: u16 = 1;
+/// Size of the fixed checkpoint container header in bytes.
+pub const CKPT_HEADER_SIZE: usize = 16;
 
 /// Streaming checksum over a byte section: FNV-1a over little-endian
 /// 64-bit words (with a zero-padded tail word), finished by absorbing the
@@ -216,18 +224,52 @@ impl From<io::Error> for BinError {
     }
 }
 
-fn doc_type_tag(t: DocType) -> u8 {
+/// Stable wire tag of a document type (its index in [`DocType::ALL`]).
+/// Public so other binary formats (the `.wcp` checkpoint encoder) share
+/// one tag space with the packed trace format.
+pub fn doc_type_tag(t: DocType) -> u8 {
     DocType::ALL
         .iter()
         .position(|&d| d == t)
         .expect("DocType::ALL covers every variant") as u8
 }
 
-fn doc_type_from_tag(tag: u8) -> Result<DocType, BinError> {
+/// Decode a wire tag back into a document type.
+pub fn doc_type_from_tag(tag: u8) -> Result<DocType, BinError> {
     DocType::ALL
         .get(tag as usize)
         .copied()
         .ok_or(BinError::BadDocType(tag))
+}
+
+/// Encode one request as its fixed-width wire record.
+fn encode_record(r: &Request, rec: &mut [u8; RECORD_SIZE]) {
+    rec[0..8].copy_from_slice(&r.time.to_le_bytes());
+    rec[8..12].copy_from_slice(&r.url.0.to_le_bytes());
+    rec[12..16].copy_from_slice(&r.client.0.to_le_bytes());
+    rec[16..20].copy_from_slice(&r.server.0.to_le_bytes());
+    rec[20] = doc_type_tag(r.doc_type);
+    rec[21] = r.last_modified.is_some() as u8;
+    rec[22..24].copy_from_slice(&[0u8; 2]);
+    rec[24..32].copy_from_slice(&r.size.to_le_bytes());
+    rec[32..40].copy_from_slice(&r.last_modified.unwrap_or(0).to_le_bytes());
+}
+
+/// Content hash of a trace: [`Hasher64`] over the trace name and every
+/// request's fixed-width record encoding. Two traces with the same name
+/// and identical request sequences hash equal regardless of how they were
+/// produced (generator, CLF parse, packed load). Checkpoints store this so
+/// a resume against a regenerated-but-different trace (changed seed,
+/// scale, or generator version) is detected instead of trusted.
+pub fn trace_content_hash(trace: &Trace) -> u64 {
+    let mut h = Hasher64::new();
+    h.update(trace.name.as_bytes());
+    let mut rec = [0u8; RECORD_SIZE];
+    for r in &trace.requests {
+        encode_record(r, &mut rec);
+        h.update(&rec);
+    }
+    h.finish()
 }
 
 /// Serialise a trace into the packed format (version 2, checksummed).
@@ -270,15 +312,7 @@ pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
     let mut rec_h = Hasher64::new();
     let mut rec = [0u8; RECORD_SIZE];
     for r in &trace.requests {
-        rec[0..8].copy_from_slice(&r.time.to_le_bytes());
-        rec[8..12].copy_from_slice(&r.url.0.to_le_bytes());
-        rec[12..16].copy_from_slice(&r.client.0.to_le_bytes());
-        rec[16..20].copy_from_slice(&r.server.0.to_le_bytes());
-        rec[20] = doc_type_tag(r.doc_type);
-        rec[21] = r.last_modified.is_some() as u8;
-        rec[22..24].copy_from_slice(&[0u8; 2]);
-        rec[24..32].copy_from_slice(&r.size.to_le_bytes());
-        rec[32..40].copy_from_slice(&r.last_modified.unwrap_or(0).to_le_bytes());
+        encode_record(r, &mut rec);
         rec_h.update(&rec);
         w.write_all(&rec)?;
     }
@@ -361,38 +395,56 @@ pub fn save(trace: &Trace, path: &Path) -> io::Result<()> {
     result
 }
 
-/// Byte-slice reader with explicit little-endian decoding.
-struct Cursor<'a> {
+/// Byte-slice reader with explicit little-endian decoding. Every read is
+/// bounds-checked and fails as [`BinError::Truncated`] rather than
+/// panicking; used by the packed-trace decoder and by the checkpoint
+/// (`.wcp`) decoders in other crates.
+pub struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
         let end = self.pos.checked_add(n).ok_or(BinError::Truncated)?;
         let s = self.buf.get(self.pos..end).ok_or(BinError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
 
-    fn u16(&mut self) -> Result<u16, BinError> {
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, BinError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, BinError> {
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, BinError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, BinError> {
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, BinError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn string(&mut self) -> Result<String, BinError> {
+    /// Read a `u32` length prefix followed by that many UTF-8 bytes.
+    pub fn string(&mut self) -> Result<String, BinError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| BinError::BadUtf8)
@@ -563,6 +615,151 @@ pub fn load(path: &Path) -> Result<Trace, BinError> {
             read_trace(&buf)
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint section container (`.wcp`)
+// ---------------------------------------------------------------------------
+//
+// A `.wcp` file is a generic checksummed container of opaque byte
+// sections; the simulation checkpoint layer (webcache-core) defines what
+// each section holds. Layout (all integers little-endian):
+//
+// ```text
+// offset size  field
+//      0    4  magic  b"WCP\x01"
+//      4    2  format version (1)
+//      6    2  flags (0)
+//      8    4  section count (u32)
+//     12    4  reserved (0)
+//           …  × section count: u64 payload length | payload bytes,
+//              padded to the next 8-byte boundary
+//          16+8n  footer: magic b"WCPS" | reserved u32 (0) |
+//              header checksum u64 | one checksum per section (u64)
+// ```
+//
+// Every section checksum covers the length prefix, payload and padding,
+// so a corrupted length cannot silently shift section boundaries. As with
+// `.wct` v2, every checksum is verified before any payload byte is handed
+// to a decoder, and [`save_sections`] writes through a sibling temporary
+// file renamed into place after fsync.
+
+/// Serialise opaque byte sections into a checksummed `.wcp` container.
+pub fn sections_to_bytes(sections: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        CKPT_HEADER_SIZE
+            + sections.iter().map(|s| 16 + s.len()).sum::<usize>()
+            + 16
+            + 8 * sections.len(),
+    );
+    out.extend_from_slice(&CKPT_MAGIC);
+    out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    let header_ck = checksum(&out[..CKPT_HEADER_SIZE]);
+
+    let mut section_cks = Vec::with_capacity(sections.len());
+    for s in sections {
+        let start = out.len();
+        out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        out.extend_from_slice(s);
+        let pad = (8 - s.len() % 8) % 8;
+        out.extend_from_slice(&[0u8; 8][..pad]);
+        section_cks.push(checksum(&out[start..]));
+    }
+
+    out.extend_from_slice(&CKPT_FOOTER_MAGIC);
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&header_ck.to_le_bytes());
+    for ck in section_cks {
+        out.extend_from_slice(&ck.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a `.wcp` container, verifying the header and every section
+/// against the footer checksums before returning any payload. A flipped
+/// bit anywhere — header, length prefix, payload, padding, footer — is a
+/// typed [`BinError`], never a silently wrong section.
+pub fn read_sections(bytes: &[u8]) -> Result<Vec<Vec<u8>>, BinError> {
+    if bytes.len() < CKPT_HEADER_SIZE {
+        return Err(BinError::Truncated);
+    }
+    if bytes[0..4] != CKPT_MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != CKPT_VERSION {
+        return Err(BinError::BadVersion(version));
+    }
+    let count = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let footer_len = 16usize
+        .checked_add(count.checked_mul(8).ok_or(BinError::Truncated)?)
+        .ok_or(BinError::Truncated)?;
+    let body_len = bytes
+        .len()
+        .checked_sub(footer_len)
+        .ok_or(BinError::Truncated)?;
+    let (body, footer) = bytes.split_at(body_len);
+    if footer[0..4] != CKPT_FOOTER_MAGIC || footer[4..8] != [0u8; 4] {
+        return Err(BinError::BadFooter);
+    }
+    if checksum(&body[..CKPT_HEADER_SIZE]) != le_u64(footer, 8) {
+        return Err(BinError::ChecksumMismatch("header"));
+    }
+
+    let mut pos = CKPT_HEADER_SIZE;
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let len_end = pos.checked_add(8).ok_or(BinError::Truncated)?;
+        let len_bytes = body.get(pos..len_end).ok_or(BinError::Truncated)?;
+        let len = le_u64(len_bytes, 0) as usize;
+        let pad = (8 - len % 8) % 8;
+        let end = len_end
+            .checked_add(len)
+            .and_then(|v| v.checked_add(pad))
+            .ok_or(BinError::Truncated)?;
+        let framed = body.get(pos..end).ok_or(BinError::Truncated)?;
+        if checksum(framed) != le_u64(footer, 16 + i * 8) {
+            return Err(BinError::ChecksumMismatch("section"));
+        }
+        sections.push(framed[8..8 + len].to_vec());
+        pos = end;
+    }
+    if pos != body.len() {
+        return Err(BinError::TrailingBytes);
+    }
+    Ok(sections)
+}
+
+/// Write a `.wcp` container to `path` atomically: sibling temporary file,
+/// flush, fsync, rename — the same crash discipline as [`save`], so a
+/// killed run leaves either the previous complete checkpoint or the new
+/// one, never a torn file.
+pub fn save_sections(path: &Path, sections: &[Vec<u8>]) -> io::Result<()> {
+    let bytes = sections_to_bytes(sections);
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.flush()?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Load and verify a `.wcp` container from `path`.
+pub fn load_sections(path: &Path) -> Result<Vec<Vec<u8>>, BinError> {
+    let mut buf = Vec::new();
+    io::BufReader::new(File::open(path)?).read_to_end(&mut buf)?;
+    read_sections(&buf)
 }
 
 #[cfg(test)]
@@ -780,5 +977,81 @@ mod tests {
             "temp files left behind: {leftovers:?}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let cases: Vec<Vec<Vec<u8>>> = vec![
+            vec![],
+            vec![vec![]],
+            vec![b"hello".to_vec()],
+            vec![vec![0u8; 8], vec![1, 2, 3], vec![], vec![0xff; 65]],
+        ];
+        for sections in cases {
+            let bytes = sections_to_bytes(&sections);
+            assert_eq!(read_sections(&bytes).unwrap(), sections);
+        }
+    }
+
+    #[test]
+    fn sections_detect_any_single_bit_flip() {
+        let sections = vec![b"alpha".to_vec(), b"beta-section".to_vec()];
+        let bytes = sections_to_bytes(&sections);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            // Every byte is covered by the header checksum, a section
+            // checksum, or the footer comparison itself, so no flip may
+            // decode successfully.
+            assert!(
+                read_sections(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn sections_reject_truncation_and_trailing() {
+        let bytes = sections_to_bytes(&[b"payload".to_vec()]);
+        for cut in 0..bytes.len() {
+            assert!(read_sections(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = sections_to_bytes(&[]);
+        trailing.push(0);
+        assert!(read_sections(&trailing).is_err());
+    }
+
+    #[test]
+    fn sections_reject_bad_magic_and_version() {
+        let mut bytes = sections_to_bytes(&[vec![1]]);
+        bytes[0] = b'X';
+        assert!(matches!(read_sections(&bytes), Err(BinError::BadMagic)));
+        let mut bytes = sections_to_bytes(&[vec![1]]);
+        bytes[4] = 99;
+        assert!(matches!(
+            read_sections(&bytes),
+            Err(BinError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn save_sections_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("wcp_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.wcp");
+        let sections = vec![b"one".to_vec(), vec![], b"three".to_vec()];
+        save_sections(&path, &sections).unwrap();
+        assert_eq!(load_sections(&path).unwrap(), sections);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_content_hash_is_stable_and_sensitive() {
+        let t = sample_trace();
+        let h1 = trace_content_hash(&t);
+        assert_eq!(h1, trace_content_hash(&t));
+        let mut t2 = sample_trace();
+        t2.requests[0].size += 1;
+        assert_ne!(h1, trace_content_hash(&t2));
     }
 }

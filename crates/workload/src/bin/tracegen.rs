@@ -11,6 +11,22 @@ use std::io::Write as _;
 /// Unix time of 1995-09-17 00:00:00 UTC — the BR/BL collection start.
 const EPOCH: i64 = 811_296_000;
 
+/// Parse the next argument as `flag`'s value, refusing missing or
+/// malformed input instead of silently falling back to a default.
+fn parse_arg<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(v) = it.next() else {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    };
+    match v.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            eprintln!("invalid value {v:?} for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workload = None;
@@ -20,11 +36,15 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0),
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--scale" => scale = parse_arg(&mut it, "--scale"),
+            "--seed" => seed = parse_arg(&mut it, "--seed"),
             "--out" => out = it.next(),
             w => workload = Some(w.to_string()),
         }
+    }
+    if !(scale > 0.0 && scale.is_finite()) {
+        eprintln!("--scale must be a positive finite number, got {scale}");
+        std::process::exit(2);
     }
     let Some(workload) = workload else {
         eprintln!("usage: tracegen <U|G|C|BR|BL> [--scale F] [--seed N] [--out FILE]");
@@ -43,8 +63,14 @@ fn main() {
     let text = trace.to_clf(EPOCH);
     match out {
         Some(path) => {
-            let mut f = std::fs::File::create(&path).expect("create output file");
-            f.write_all(text.as_bytes()).expect("write trace");
+            let written = std::fs::File::create(&path).and_then(|mut f| {
+                f.write_all(text.as_bytes())?;
+                f.flush()
+            });
+            if let Err(e) = written {
+                eprintln!("cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
             eprintln!(
                 "wrote {} requests ({} days, {:.1} MB transferred) to {path}",
                 trace.len(),

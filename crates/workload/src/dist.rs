@@ -196,8 +196,13 @@ impl SizeDist {
 
     /// Draw a size in bytes.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let dist = rand_distr::LogNormal::new(self.mu, self.sigma).expect("valid parameters");
-        let v = rand::distributions::Distribution::sample(&dist, rng);
+        // LogNormal::new only rejects a non-finite or negative sigma,
+        // which the constructors never produce; degrade to the median
+        // rather than panicking if a hand-built SizeDist slips one in.
+        let v = match rand_distr::LogNormal::new(self.mu, self.sigma) {
+            Ok(dist) => rand::distributions::Distribution::sample(&dist, rng),
+            Err(_) => self.median(),
+        };
         (v as u64).clamp(self.min, self.max)
     }
 

@@ -234,10 +234,11 @@ impl<'a> GenCtx<'a> {
                 let same_mod_coin = rng.gen::<f64>() < p.p_same_size_mod;
                 let zero_coin = rng.gen::<f64>() < p.p_zero_size;
                 let client = rng.gen_range(0..p.clients);
-                let error = (rng.gen::<f64>() < p.p_error).then(|| {
-                    *[304u16, 404, 403, 500]
-                        .get(rng.gen_range(0..4))
-                        .expect("index in range")
+                let error = (rng.gen::<f64>() < p.p_error).then(|| match rng.gen_range(0..4) {
+                    0 => 304u16,
+                    1 => 404,
+                    2 => 403,
+                    _ => 500,
                 });
                 Event {
                     time,
