@@ -9,8 +9,10 @@
 
 pub mod multilevel;
 pub mod partitioned;
+pub mod sharded;
 pub mod store;
 
+pub use sharded::{ShardStats, ShardedCache};
 pub use store::{DocStore, HashStore, SlabStore};
 
 use crate::policy::RemovalPolicy;

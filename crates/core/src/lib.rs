@@ -50,6 +50,6 @@ pub mod cache;
 pub mod policy;
 pub mod sim;
 
-pub use cache::{Cache, CacheStats, Counts, DocMeta, Outcome};
+pub use cache::{Cache, CacheStats, Counts, DocMeta, Outcome, ShardedCache};
 pub use policy::{Key, KeySpec, RemovalPolicy, SortedPolicy};
 pub use sim::{simulate, simulate_infinite, simulate_policy, CacheSystem, SimResult};

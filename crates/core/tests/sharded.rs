@@ -1,0 +1,99 @@
+//! Correctness bridge between the sharded runtime and the simulator.
+//!
+//! Two guarantees (ISSUE 5 / DESIGN.md D12):
+//!
+//! * a 1-shard [`ShardedCache`] is **bit-identical** to the single-cache
+//!   simulator (`simulate_policy`) — same outcomes, same counters;
+//! * an N-shard cache at the same *total* capacity tracks the simulator's
+//!   hit rate within a documented tolerance on a Zipf-like workload
+//!   (eviction pressure is per shard, so exact equality is not expected;
+//!   see the module docs of `webcache_core::cache::sharded`).
+
+use webcache_core::cache::ShardedCache;
+use webcache_core::policy::named;
+use webcache_core::sim::simulate_policy;
+use webcache_trace::{RawRequest, Trace};
+
+/// Absolute hit-rate tolerance for the N-shard vs single-cache
+/// comparison at a capacity of ~10% of the working set. Documented in
+/// DESIGN.md D12: per-shard eviction pressure makes a hot shard evict
+/// while a cold one has slack, so rates deviate by a few points.
+const HIT_RATE_TOLERANCE: f64 = 0.05;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic Zipf-ish trace: rank sampled as `u ^ 2` over the
+/// universe (quadratic skew approximates the paper's concentration of
+/// references), sizes spread over two orders of magnitude by rank.
+fn zipfish_trace(requests: u64, universe: u64, seed: u64) -> Trace {
+    let raws: Vec<RawRequest> = (0..requests)
+        .map(|i| {
+            let u = splitmix64(seed ^ i) as f64 / u64::MAX as f64;
+            let rank = ((u * u) * universe as f64) as u64;
+            let size = 200 + (splitmix64(rank) % 64) * ((rank % 97) + 1);
+            RawRequest {
+                time: i * 13,
+                client: "c".into(),
+                url: format!("http://s{}.test/d{rank}.html", rank % 17),
+                status: 200,
+                size,
+                last_modified: None,
+            }
+        })
+        .collect();
+    Trace::from_raw("zipfish", &raws)
+}
+
+#[test]
+fn one_shard_replay_matches_simulator_bit_identically() {
+    let trace = zipfish_trace(20_000, 2_000, 7);
+    let total: u64 = trace.requests.iter().map(|r| r.size).sum();
+    let capacity = total / 10;
+
+    let sim = simulate_policy(&trace, capacity, Box::new(named::lru()));
+    let sharded: ShardedCache = ShardedCache::new(capacity, 1, || Box::new(named::lru()));
+    for r in &trace.requests {
+        sharded.request(r);
+    }
+    let sim_total = sim.stream("cache").expect("cache stream").total;
+    assert_eq!(
+        sim_total,
+        sharded.counts(),
+        "1-shard ShardedCache must be bit-identical to the simulator"
+    );
+}
+
+#[test]
+fn n_shard_hit_rate_tracks_simulator_within_tolerance() {
+    let trace = zipfish_trace(40_000, 2_000, 11);
+    let total: u64 = trace.requests.iter().map(|r| r.size).sum();
+    let capacity = total / 10;
+
+    let sim = simulate_policy(&trace, capacity, Box::new(named::lru()));
+    let sim_hr = sim.stream("cache").expect("cache stream").total.hit_rate();
+
+    let shards = 8;
+    let sharded: ShardedCache = ShardedCache::new(capacity, shards, || Box::new(named::lru()));
+    for r in &trace.requests {
+        sharded.request(r);
+    }
+    sharded.check_invariants();
+    let sharded_hr = sharded.counts().hit_rate();
+
+    assert!(
+        (sim_hr - sharded_hr).abs() <= HIT_RATE_TOLERANCE,
+        "hit rate deviated beyond tolerance: simulator {sim_hr:.4} vs {shards}-shard \
+         {sharded_hr:.4} (|Δ| > {HIT_RATE_TOLERANCE})"
+    );
+    // Both configurations see identical demand.
+    assert_eq!(sharded.counts().requests, trace.len() as u64);
+    assert_eq!(
+        sharded.counts().bytes_requested,
+        sim.stream("cache").unwrap().total.bytes_requested
+    );
+}

@@ -28,13 +28,14 @@
 //! hung sweep from a slow one.
 
 use serde::Serialize;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use webcache_core::policy::RemovalPolicy;
 use webcache_core::sim::{
     decode_results, encode_results, run_resumable, SimResult, SweepCheckpoint, SweepMeta,
     SweepOutcome,
 };
+use webcache_trace::binfmt::write_atomic;
 use webcache_trace::Trace;
 
 /// Process-wide stop flag raised by the SIGINT/SIGTERM handler. Sweeps
@@ -342,25 +343,6 @@ impl Supervisor {
             }
         }
     }
-}
-
-/// Write `bytes` to `path` atomically via a sibling temp file + rename.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    use std::io::Write;
-    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = path.with_file_name(tmp_name);
-    let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.flush()?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
 }
 
 #[cfg(test)]

@@ -25,7 +25,6 @@
 //! continues from the latest valid checkpoint — the final results are
 //! bit-identical to an uninterrupted run.
 
-use std::io::Write as _;
 use std::path::PathBuf;
 use webcache_experiments::{exp1, exp2, exp3, exp4, exp5, figures, lifecycle, Ctx, Supervisor};
 
@@ -44,22 +43,14 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
         .unwrap_or_else(|_| usage_error(&format!("{flag} got unparseable value {v:?}")))
 }
 
-/// Write a result JSON atomically: temp sibling, flush, sync, rename. A
-/// crash mid-write can cost the file, never leave a half-written one.
+/// Write a result JSON atomically via the workspace's shared tmp+rename
+/// helper. A crash mid-write can cost the file, never leave a
+/// half-written one.
 fn write_json_atomic(dir: &str, name: &str, json: &str) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
     let path = format!("{dir}/{name}.json");
-    let tmp = format!("{dir}/{name}.json.tmp.{}", std::process::id());
-    let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, &path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result.map(|()| path)
+    webcache_trace::binfmt::write_atomic(std::path::Path::new(&path), json.as_bytes())?;
+    Ok(path)
 }
 
 /// Report an interrupted supervised sweep and exit 130 (conventional

@@ -1,0 +1,233 @@
+//! Serving benchmark: replay a packed `.wct` trace against a live
+//! proxy/origin pair at several shard counts and write `BENCH_proxy.json`
+//! at the repository root (format documented in README "Serving
+//! benchmark").
+//!
+//! ```text
+//! loadgen [--trace path.wct] [--profile u] [--scale 0.05] [--seed 1]
+//!         [--clients N] [--workers N] [--shards 1,2,4]
+//!         [--capacity-frac 0.25] [--json path] [--smoke]
+//! ```
+//!
+//! Without `--trace`, a workload is generated from `--profile` at
+//! `--scale`, saved as a packed trace in a temp file, and loaded back
+//! through the mmap path — so the bench exercises the same `.wct` load
+//! path as production replays. `--smoke` is the CI gate: a tiny trace,
+//! 2 shards only, asserting zero client-visible errors and a nonzero
+//! hit count.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use webcache_core::cache::sharded::default_shard_count;
+use webcache_core::policy::named;
+use webcache_loadgen::{replay, ReplayConfig, ReplayReport};
+use webcache_trace::binfmt;
+use webcache_trace::Trace;
+use webcache_workload::{generator, profiles};
+
+struct Args {
+    trace: Option<PathBuf>,
+    profile: String,
+    scale: f64,
+    seed: u64,
+    clients: usize,
+    workers: usize,
+    shards: Option<Vec<usize>>,
+    capacity_frac: f64,
+    json: PathBuf,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut args = Args {
+        trace: None,
+        profile: "u".to_string(),
+        scale: 0.05,
+        seed: 1,
+        clients: (2 * cores).max(4),
+        workers: 4 * cores,
+        shards: None,
+        capacity_frac: 0.25,
+        json: PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_proxy.json"
+        )),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--trace" => args.trace = Some(PathBuf::from(val("--trace"))),
+            "--profile" => args.profile = val("--profile"),
+            "--scale" => args.scale = val("--scale").parse().expect("--scale: float"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: integer"),
+            "--clients" => args.clients = val("--clients").parse().expect("--clients: integer"),
+            "--workers" => args.workers = val("--workers").parse().expect("--workers: integer"),
+            "--shards" => {
+                args.shards = Some(
+                    val("--shards")
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse()
+                                .expect("--shards: comma-separated integers")
+                        })
+                        .collect(),
+                )
+            }
+            "--capacity-frac" => {
+                args.capacity_frac = val("--capacity-frac")
+                    .parse()
+                    .expect("--capacity-frac: float")
+            }
+            "--json" => args.json = PathBuf::from(val("--json")),
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+/// Load the trace to replay: an explicit `.wct`, or a generated workload
+/// round-tripped through the packed format so the mmap load path is the
+/// one being exercised.
+fn load_trace(args: &Args) -> Trace {
+    if let Some(path) = &args.trace {
+        return binfmt::load(path).expect("load --trace");
+    }
+    let profile = profiles::by_name(&args.profile)
+        .unwrap_or_else(|| panic!("unknown profile {:?}", args.profile))
+        .scaled(args.scale);
+    let trace = generator::generate(&profile, args.seed);
+    let tmp = std::env::temp_dir().join(format!("loadgen-{}.wct", std::process::id()));
+    binfmt::save(&trace, &tmp).expect("save generated trace");
+    let loaded = binfmt::load(&tmp).expect("reload generated trace");
+    let _ = std::fs::remove_file(&tmp);
+    loaded
+}
+
+fn run_json(r: &ReplayReport) -> String {
+    format!(
+        "    {{\"shards\": {}, \"requests\": {}, \"errors\": {}, \"hits\": {}, \
+         \"hit_rate\": {:.4}, \"elapsed_secs\": {:.3}, \"requests_per_sec\": {:.1}, \
+         \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        r.shards,
+        r.requests,
+        r.errors,
+        r.hits,
+        r.hit_rate,
+        r.elapsed_secs,
+        r.requests_per_sec,
+        r.latency.p50_us,
+        r.latency.p90_us,
+        r.latency.p99_us,
+        r.latency.max_us,
+    )
+}
+
+fn main() -> ExitCode {
+    let mut args = parse_args();
+    if args.smoke {
+        // CI gate: tiny trace, 2 shards, strict assertions.
+        args.scale = args.scale.min(0.01);
+        args.shards.get_or_insert_with(|| vec![2]);
+    }
+    let trace = load_trace(&args);
+    assert!(!trace.requests.is_empty(), "trace is empty");
+    let capacity = ((trace.total_bytes() as f64 * args.capacity_frac) as u64).max(1 << 16);
+    let ncores = default_shard_count();
+
+    // Default sweep: the single-lock baseline, minimal sharding, and one
+    // shard per core — deduplicated (on a 1-core machine that is {1, 2}).
+    let shard_counts = args.shards.clone().unwrap_or_else(|| {
+        let mut v = vec![1, 2, ncores];
+        v.sort_unstable();
+        v.dedup();
+        v
+    });
+
+    eprintln!(
+        "loadgen: trace {} ({} requests, {} uniques, {} bytes), capacity {capacity}, \
+         {} clients, {} workers, shards {shard_counts:?}",
+        trace.name,
+        trace.len(),
+        trace.interner.url_count(),
+        trace.total_bytes(),
+        args.clients,
+        args.workers,
+    );
+
+    let mut runs: Vec<ReplayReport> = Vec::new();
+    for &shards in &shard_counts {
+        let cfg = ReplayConfig {
+            clients: args.clients,
+            shards,
+            workers: args.workers,
+            queue_depth: 16 * args.workers.max(1),
+            capacity,
+        };
+        let report = replay(&trace, cfg, || Box::new(named::lru())).expect("replay");
+        eprintln!(
+            "  shards {:>3}: {:>8.1} req/s, p50 {} µs, p99 {} µs, max {} µs, \
+             hit rate {:.3}, errors {}",
+            report.shards,
+            report.requests_per_sec,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.latency.max_us,
+            report.hit_rate,
+            report.errors,
+        );
+        runs.push(report);
+    }
+
+    let baseline = runs.iter().find(|r| r.shards == 1);
+    let best = runs.iter().max_by_key(|r| r.shards);
+    let speedup = match (baseline, best) {
+        (Some(b), Some(m)) if b.requests_per_sec > 0.0 && m.shards > 1 => {
+            Some(m.requests_per_sec / b.requests_per_sec)
+        }
+        _ => None,
+    };
+
+    let json = format!(
+        "{{\n  \"trace\": \"{}\",\n  \"requests\": {},\n  \"unique_urls\": {},\n  \
+         \"total_bytes\": {},\n  \"capacity\": {},\n  \"clients\": {},\n  \"workers\": {},\n  \
+         \"machine_parallelism\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_max_shards_vs_1\": {}\n}}\n",
+        trace.name,
+        trace.len(),
+        trace.interner.url_count(),
+        trace.total_bytes(),
+        capacity,
+        args.clients,
+        args.workers,
+        ncores,
+        runs.iter().map(run_json).collect::<Vec<_>>().join(",\n"),
+        speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+    );
+    binfmt::write_atomic(&args.json, json.as_bytes()).expect("write BENCH_proxy.json");
+    eprintln!("loadgen: wrote {}", args.json.display());
+
+    if args.smoke {
+        let bad = runs
+            .iter()
+            .find(|r| r.errors > 0 || r.hits == 0 || r.requests == 0);
+        if let Some(r) = bad {
+            eprintln!(
+                "loadgen --smoke FAILED: shards {} saw {} errors, {} hits over {} requests",
+                r.shards, r.errors, r.hits, r.requests
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("loadgen --smoke passed: zero client-visible errors, nonzero hits");
+    }
+    ExitCode::SUCCESS
+}

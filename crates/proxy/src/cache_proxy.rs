@@ -17,26 +17,52 @@
 //! a `Warning: 110` degraded marker — when revalidation fails entirely
 //! (`stale-if-error` semantics). Every degradation is counted in
 //! [`ProxyStats`].
+//!
+//! ## Concurrency
+//!
+//! The serving path is built on [`ShardedCache`]: document metadata,
+//! bodies and freshness stamps for one URL all live under that URL's
+//! shard lock (the proxy's maps ride in the shard extension slot), so a
+//! request takes exactly one shard lock on the cache path and never
+//! holds it across network I/O. Connections are accepted into a bounded
+//! queue drained by a fixed pool of worker threads
+//! ([`ProxyConfig::workers`]); when the queue is full the proxy refuses
+//! the connection with `503` rather than growing without bound
+//! (counted in [`ProxyStats::rejected`]).
 
 use crate::fault::splitmix64;
 use crate::http::HttpError;
 use crate::http::{self, Request, Response};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::Duration;
-use webcache_core::cache::{Cache, Outcome};
+use webcache_core::cache::{DocMeta, Outcome, ShardedCache};
 use webcache_core::policy::RemovalPolicy;
-use webcache_trace::{ClientId, DocType, Interner, ServerId};
+use webcache_trace::{ClientId, DocType, Interner, ServerId, UrlId};
 
 /// Proxy configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ProxyConfig {
     /// Cache capacity in bytes.
     pub capacity: u64,
+    /// Number of cache shards (nonzero power of two). `1` — the default —
+    /// reproduces the paper's monolithic cache bit-for-bit; higher values
+    /// partition both the lock and the capacity per shard (each shard
+    /// gets `capacity / shards` bytes — see the
+    /// `webcache_core::cache::sharded` module docs for the accounting
+    /// invariant). Serving deployments set this from `--shards`.
+    pub shards: usize,
+    /// Worker threads draining the connection queue. Defaults to 4× the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Bound on connections waiting for a worker; a connection arriving
+    /// beyond it is refused with `503` (counted in
+    /// [`ProxyStats::rejected`]) instead of queueing without bound.
+    pub queue_depth: usize,
     /// Freshness lifetime in seconds: a copy older than this is
     /// revalidated with a conditional GET. `None` trusts copies forever
     /// (the simulator's behaviour for unchanged sizes).
@@ -44,7 +70,9 @@ pub struct ProxyConfig {
     /// TCP connect timeout for origin fetches.
     pub connect_timeout: Duration,
     /// Read/write timeout on an established origin connection — bounds
-    /// how long a stalled origin can wedge a request.
+    /// how long a stalled origin can wedge a request. Also applied to
+    /// client connections, so a client stalling mid-request cannot pin a
+    /// worker forever (it gets `504`).
     pub read_timeout: Duration,
     /// Retries after the first failed fetch (total attempts = 1 + this).
     pub max_retries: u32,
@@ -64,13 +92,20 @@ pub struct ProxyConfig {
 }
 
 impl ProxyConfig {
-    /// A config with the given capacity, no TTL, and resilience defaults:
-    /// 1 s connect / 2 s read timeouts, 2 retries with 10 ms backoff
-    /// base, breaker opening after 5 failures for 32 ticks, serve-stale
-    /// on.
+    /// A config with the given capacity, no TTL, one shard, and
+    /// resilience defaults: 1 s connect / 2 s read timeouts, 2 retries
+    /// with 10 ms backoff base, breaker opening after 5 failures for 32
+    /// ticks, serve-stale on, 4×cores workers over a 16×workers queue.
     pub fn new(capacity: u64) -> ProxyConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = 4 * cores;
         ProxyConfig {
             capacity,
+            shards: 1,
+            workers,
+            queue_depth: 16 * workers,
             ttl: None,
             connect_timeout: Duration::from_secs(1),
             read_timeout: Duration::from_secs(2),
@@ -80,6 +115,19 @@ impl ProxyConfig {
             breaker_cooldown: 32,
             serve_stale: true,
         }
+    }
+
+    /// Set the shard count (must be a nonzero power of two).
+    pub fn with_shards(mut self, shards: usize) -> ProxyConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the worker-pool size and the connection-queue bound.
+    pub fn with_workers(mut self, workers: usize, queue_depth: usize) -> ProxyConfig {
+        self.workers = workers;
+        self.queue_depth = queue_depth;
+        self
     }
 
     /// Set the freshness lifetime (logical seconds).
@@ -143,6 +191,8 @@ pub struct ProxyStats {
     pub breaker_fast_fails: u64,
     /// Expired copies served (degraded) because revalidation failed.
     pub stale_serves: u64,
+    /// Connections refused with `503` because the worker queue was full.
+    pub rejected: u64,
 }
 
 impl ProxyStats {
@@ -153,6 +203,48 @@ impl ProxyStats {
             0.0
         } else {
             (self.hits + self.revalidated) as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Lock-free mirror of [`ProxyStats`], bumped by worker threads.
+#[derive(Debug, Default)]
+struct AtomicProxyStats {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    revalidated: AtomicU64,
+    misses: AtomicU64,
+    bytes_from_cache: AtomicU64,
+    bytes_from_origin: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    origin_failures: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    stale_serves: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl AtomicProxyStats {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ProxyStats {
+        ProxyStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            revalidated: self.revalidated.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_from_cache: self.bytes_from_cache.load(Ordering::Relaxed),
+            bytes_from_origin: self.bytes_from_origin.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            origin_failures: self.origin_failures.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -188,57 +280,154 @@ enum FetchError {
     Exhausted { timed_out: bool },
 }
 
-/// Shared mutable proxy state: metadata cache, body store, interner and a
-/// logical clock.
-struct ProxyState {
-    cache: Cache,
-    bodies: HashMap<webcache_trace::UrlId, Bytes>,
-    interner: Interner,
-    stats: ProxyStats,
+/// Per-shard proxy sidecar, guarded by the owning shard's lock: body
+/// bytes and fetch times for the documents resident in that shard.
+#[derive(Debug, Default)]
+struct ShardExt {
+    bodies: HashMap<UrlId, Bytes>,
     /// Fetch time per resident document (for TTL freshness).
-    fetched_at: HashMap<webcache_trace::UrlId, u64>,
+    fetched_at: HashMap<UrlId, u64>,
+}
+
+/// Shared proxy state. The cache path locks only the owning shard; the
+/// remaining fields are either atomics or their own short-lived locks,
+/// never held across network I/O.
+struct ProxyState {
+    cache: ShardedCache<ShardExt>,
+    interner: Mutex<Interner>,
+    stats: AtomicProxyStats,
     /// Logical clock: advances by one per request, so ATIME/ETIME/NREF
     /// behave exactly as in simulation. Wall time is deliberately not
     /// used — tests stay deterministic.
-    now: u64,
+    now: AtomicU64,
     /// Per-origin-host circuit breakers.
-    breakers: HashMap<String, Breaker>,
+    breakers: Mutex<HashMap<String, Breaker>>,
     /// Counter feeding deterministic backoff jitter.
-    jitter_seq: u64,
-    log: Vec<String>,
+    jitter_seq: AtomicU64,
+    log: Mutex<Vec<String>>,
+}
+
+/// A bounded MPMC handoff of accepted connections to the worker pool.
+/// `push` never blocks: a full queue refuses the connection, which the
+/// acceptor turns into a `503`.
+struct ConnQueue {
+    inner: StdMutex<QueueInner>,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            inner: StdMutex::new(QueueInner {
+                conns: VecDeque::with_capacity(depth),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Enqueue a connection, or hand it back if the queue is full/closed.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.closed || q.conns.len() >= self.depth {
+            return Err(stream);
+        }
+        q.conns.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a connection is available; `None` once the queue is
+    /// closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(s) = q.conns.pop_front() {
+                return Some(s);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
 }
 
 /// A running caching proxy.
 pub struct ProxyServer {
     addr: SocketAddr,
-    state: Arc<Mutex<ProxyState>>,
+    state: Arc<ProxyState>,
+    queue: Arc<ConnQueue>,
     shutdown: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ProxyServer {
-    /// Start a proxy forwarding misses to `origin`, using `policy` for
-    /// removal.
+    /// Start a proxy forwarding misses to `origin`. `policy` constructs
+    /// one removal-policy instance per shard ([`ProxyConfig::shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards` is not a nonzero power of two, when
+    /// the per-shard capacity rounds to zero, or when `config.workers`
+    /// or `config.queue_depth` is zero.
     pub fn start(
         origin: SocketAddr,
         config: ProxyConfig,
-        policy: Box<dyn RemovalPolicy + Send>,
+        policy: impl FnMut() -> Box<dyn RemovalPolicy>,
     ) -> std::io::Result<ProxyServer> {
+        assert!(
+            config.workers > 0,
+            "worker pool must have at least one thread"
+        );
+        assert!(
+            config.queue_depth > 0,
+            "connection queue must hold at least one connection"
+        );
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(Mutex::new(ProxyState {
-            cache: Cache::new(config.capacity, policy),
-            bodies: HashMap::new(),
-            interner: Interner::new(),
-            stats: ProxyStats::default(),
-            fetched_at: HashMap::new(),
-            now: 0,
-            breakers: HashMap::new(),
-            jitter_seq: 0,
-            log: Vec::new(),
-        }));
+        let state = Arc::new(ProxyState {
+            cache: ShardedCache::new(config.capacity, config.shards, policy),
+            interner: Mutex::new(Interner::new()),
+            stats: AtomicProxyStats::default(),
+            now: AtomicU64::new(0),
+            breakers: Mutex::new(HashMap::new()),
+            jitter_seq: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        });
+        let queue = Arc::new(ConnQueue::new(config.queue_depth));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let handle = {
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    while let Some(mut stream) = queue.pop() {
+                        serve_connection(&mut stream, origin, config, &state);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
@@ -246,19 +435,26 @@ impl ProxyServer {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(mut stream) = conn else { continue };
-                    let state = Arc::clone(&state);
-                    std::thread::spawn(move || {
-                        let _ = handle_client(&mut stream, origin, config, &state);
-                    });
+                    let Ok(stream) = conn else { continue };
+                    if let Err(mut refused) = queue.push(stream) {
+                        // Queue full: refuse cheaply here rather than let
+                        // accepted work grow without bound.
+                        AtomicProxyStats::add(&state.stats.rejected, 1);
+                        let _ = refused.set_write_timeout(Some(config.read_timeout));
+                        let _ = http::write_response(&mut refused, &Response::status_only(503));
+                    }
                 }
+                queue.close();
             })
         };
+
         Ok(ProxyServer {
             addr,
             state,
+            queue,
             shutdown,
-            handle: Some(handle),
+            acceptor: Some(acceptor),
+            workers,
         })
     }
 
@@ -269,25 +465,35 @@ impl ProxyServer {
 
     /// Snapshot of the proxy's counters.
     pub fn stats(&self) -> ProxyStats {
-        self.state.lock().stats
+        self.state.stats.snapshot()
     }
 
     /// The proxy's Common-Log-Format access log so far.
     pub fn access_log(&self) -> String {
-        self.state.lock().log.join("\n")
+        self.state.log.lock().join("\n")
     }
 
-    /// Bytes currently cached.
+    /// Bytes currently cached (lock-free, summed over shards).
     pub fn cached_bytes(&self) -> u64 {
-        self.state.lock().cache.used()
+        self.state.cache.used()
+    }
+
+    /// Number of cache shards the proxy is running with.
+    pub fn shard_count(&self) -> usize {
+        self.state.cache.shard_count()
     }
 }
 
 impl Drop for ProxyServer {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor; the no-op connection drains as a fast EOF.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.handle.take() {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -306,6 +512,29 @@ fn is_timeout(e: &HttpError) -> bool {
     ))
 }
 
+/// One client connection, one request. Read errors get an error status
+/// instead of a silent close: a malformed or oversized request is `400`,
+/// a client stalling past the read timeout is `504`. Any bytes the
+/// client pipelined after its first request are ignored.
+fn serve_connection(
+    stream: &mut TcpStream,
+    origin: SocketAddr,
+    config: ProxyConfig,
+    state: &Arc<ProxyState>,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    match http::read_request(stream) {
+        Ok(req) => {
+            let _ = respond(stream, origin, config, state, req);
+        }
+        Err(e) => {
+            let status = if is_timeout(&e) { 504 } else { 400 };
+            let _ = http::write_response(stream, &Response::status_only(status));
+        }
+    }
+}
+
 /// One bounded fetch attempt: connect under a timeout, then read under a
 /// timeout. A stalled or truncating origin surfaces as `Err`, never as a
 /// hang or a short body.
@@ -322,31 +551,30 @@ fn fetch_once(
 }
 
 /// Fetch from the origin with retries, backoff, and the host's circuit
-/// breaker. A `5xx` response counts as a failed attempt. The lock is
-/// never held across network I/O or backoff sleeps.
+/// breaker. A `5xx` response counts as a failed attempt. No lock is
+/// held across network I/O or backoff sleeps.
 fn fetch_origin_resilient(
     origin: SocketAddr,
     req: &Request,
     config: &ProxyConfig,
-    state: &Arc<Mutex<ProxyState>>,
+    state: &Arc<ProxyState>,
     host: &str,
 ) -> Result<Response, FetchError> {
     // Breaker admission: open → fast-fail (or half-open probe after the
     // cooldown); a probe gets exactly one attempt.
     let probing = {
-        let mut st = state.lock();
-        let now = st.now;
-        let cooldown = config.breaker_cooldown;
-        let breaker = st.breakers.entry(host.to_string()).or_default();
+        let now = state.now.load(Ordering::SeqCst);
+        let mut breakers = state.breakers.lock();
+        let breaker = breakers.entry(host.to_string()).or_default();
         match breaker.state {
             BreakerState::Closed => false,
             BreakerState::HalfOpen => true,
             BreakerState::Open => {
-                if now.saturating_sub(breaker.opened_at) >= cooldown {
+                if now.saturating_sub(breaker.opened_at) >= config.breaker_cooldown {
                     breaker.state = BreakerState::HalfOpen;
                     true
                 } else {
-                    st.stats.breaker_fast_fails += 1;
+                    AtomicProxyStats::add(&state.stats.breaker_fast_fails, 1);
                     return Err(FetchError::BreakerOpen);
                 }
             }
@@ -361,20 +589,17 @@ fn fetch_origin_resilient(
             // stream is seeded by a per-proxy counter, not wall time, so
             // runs are reproducible.
             let base_ms = config.backoff_base.as_millis().max(1) as u64;
-            let jitter_ms = {
-                let mut st = state.lock();
-                st.stats.retries += 1;
-                st.jitter_seq += 1;
-                splitmix64(st.jitter_seq) % (base_ms / 2 + 1)
-            };
+            AtomicProxyStats::add(&state.stats.retries, 1);
+            let seq = state.jitter_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let jitter_ms = splitmix64(seq) % (base_ms / 2 + 1);
             let sleep =
                 config.backoff_base * (1 << (attempt - 1)) + Duration::from_millis(jitter_ms);
             std::thread::sleep(sleep);
         }
         match fetch_once(origin, req, config) {
             Ok(resp) if resp.status < 500 => {
-                let mut st = state.lock();
-                let breaker = st.breakers.entry(host.to_string()).or_default();
+                let mut breakers = state.breakers.lock();
+                let breaker = breakers.entry(host.to_string()).or_default();
                 breaker.state = BreakerState::Closed;
                 breaker.failures = 0;
                 return Ok(resp);
@@ -383,7 +608,7 @@ fn fetch_origin_resilient(
             Err(e) => {
                 if is_timeout(&e) {
                     timed_out = true;
-                    state.lock().stats.timeouts += 1;
+                    AtomicProxyStats::add(&state.stats.timeouts, 1);
                 }
             }
         }
@@ -392,16 +617,15 @@ fn fetch_origin_resilient(
     // All attempts failed: record it and account the breaker. A failed
     // half-open probe re-opens immediately; a closed breaker opens once
     // consecutive failures reach the threshold.
-    let mut st = state.lock();
-    st.stats.origin_failures += 1;
-    let now = st.now;
-    let threshold = config.breaker_threshold;
+    AtomicProxyStats::add(&state.stats.origin_failures, 1);
+    let now = state.now.load(Ordering::SeqCst);
     let tripped = {
-        let breaker = st.breakers.entry(host.to_string()).or_default();
+        let mut breakers = state.breakers.lock();
+        let breaker = breakers.entry(host.to_string()).or_default();
         breaker.failures += 1;
         let opens = match breaker.state {
             BreakerState::HalfOpen => true,
-            BreakerState::Closed => breaker.failures >= threshold,
+            BreakerState::Closed => breaker.failures >= config.breaker_threshold,
             BreakerState::Open => false,
         };
         if opens {
@@ -411,7 +635,7 @@ fn fetch_origin_resilient(
         opens
     };
     if tripped {
-        st.stats.breaker_trips += 1;
+        AtomicProxyStats::add(&state.stats.breaker_trips, 1);
     }
     Err(FetchError::Exhausted { timed_out })
 }
@@ -425,13 +649,13 @@ fn error_response(e: &FetchError) -> Response {
     })
 }
 
-fn handle_client(
+fn respond(
     stream: &mut TcpStream,
     origin: SocketAddr,
     config: ProxyConfig,
-    state: &Arc<Mutex<ProxyState>>,
+    state: &Arc<ProxyState>,
+    req: Request,
 ) -> Result<(), HttpError> {
-    let req = http::read_request(stream)?;
     if req.method != "GET" {
         return http::write_response(stream, &Response::status_only(501));
     }
@@ -458,36 +682,31 @@ fn handle_client(
 fn proxy_get(
     origin: SocketAddr,
     config: ProxyConfig,
-    state: &Arc<Mutex<ProxyState>>,
+    state: &Arc<ProxyState>,
     target: &str,
 ) -> Result<Response, HttpError> {
-    // Phase 1: consult the cache under the lock.
-    let (url, cached) = {
-        let mut st = state.lock();
-        st.now += 1;
-        st.stats.requests += 1;
-        let url = st.interner.url(target);
-        let cached = st.cache.meta(url).map(|m| {
+    // Phase 1: consult the cache under the owning shard's lock only.
+    let now = state.now.fetch_add(1, Ordering::SeqCst) + 1;
+    AtomicProxyStats::add(&state.stats.requests, 1);
+    let url = state.interner.lock().url(target);
+    let cached = state.cache.with_shard_for(url, |cache, ext| {
+        cache.meta(url).map(|m| {
             (
                 *m,
-                st.bodies.get(&url).cloned().unwrap_or_default(),
-                st.fetched_at.get(&url).copied().unwrap_or(0),
-                st.now,
+                ext.bodies.get(&url).cloned().unwrap_or_default(),
+                ext.fetched_at.get(&url).copied().unwrap_or(0),
             )
-        });
-        (url, cached)
-    };
+        })
+    });
 
     let host = host_of(target);
-    if let Some((meta, body, fetched, now)) = cached {
+    if let Some((meta, body, fetched)) = cached {
         let fresh = config
             .ttl
             .is_none_or(|ttl| now.saturating_sub(fetched) <= ttl);
         if fresh {
             // Case 1: consistent copy, serve it.
-            let mut st = state.lock();
-            let now = st.now;
-            record_cache_hit(&mut st, url, target, now);
+            record_cache_hit(state, url, &meta, &body, target, now);
             return Ok(Response::ok(body, meta.last_modified).with_cache_status(true));
         }
         // Case 2: revalidate with a conditional GET.
@@ -497,16 +716,16 @@ fn proxy_get(
         );
         return match fetch_origin_resilient(origin, &cond, &config, state, host) {
             Ok(origin_resp) if origin_resp.status == 304 => {
-                let mut st = state.lock();
-                st.stats.revalidated += 1;
-                let now = st.now;
-                st.fetched_at.insert(url, now);
-                record_cache_hit(&mut st, url, target, now);
+                AtomicProxyStats::add(&state.stats.revalidated, 1);
+                state.cache.with_shard_for(url, |_, ext| {
+                    ext.fetched_at.insert(url, now);
+                });
+                record_cache_hit(state, url, &meta, &body, target, now);
                 Ok(Response::ok(body, meta.last_modified).with_cache_status(true))
             }
             Ok(origin_resp) if origin_resp.status == 200 => {
                 // Modified: insert the fresh copy.
-                Ok(store_and_serve(state, config, url, target, origin_resp))
+                Ok(store_and_serve(state, url, target, origin_resp, now))
             }
             // Origin answered but with neither 304 nor a document (e.g.
             // the document is gone): pass it through, keep our copy.
@@ -515,25 +734,13 @@ fn proxy_get(
                 // Revalidation failed: serve the expired copy, marked
                 // degraded, rather than surfacing the origin failure
                 // (`stale-if-error`). Freshness is NOT renewed — the next
-                // request past the TTL revalidates again.
-                let mut st = state.lock();
-                st.stats.stale_serves += 1;
-                st.stats.bytes_from_cache += meta.size;
-                let now = st.now;
-                // Touch the cache so the policy sees the reference, but
-                // do not count a hit: degraded serves are reported
-                // separately in `stale_serves`.
-                let r = webcache_trace::Request {
-                    time: now,
-                    client: ClientId(0),
-                    server: ServerId(0),
-                    url,
-                    size: meta.size,
-                    doc_type: meta.doc_type,
-                    last_modified: meta.last_modified,
-                };
-                let _ = st.cache.request(&r);
-                st.log.push(format!(
+                // request past the TTL revalidates again. The policy sees
+                // the reference, but no hit is counted: degraded serves
+                // are reported separately in `stale_serves`.
+                AtomicProxyStats::add(&state.stats.stale_serves, 1);
+                AtomicProxyStats::add(&state.stats.bytes_from_cache, meta.size);
+                touch_resident(state, url, &meta, &body, now);
+                state.log.lock().push(format!(
                     "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {} STALE",
                     meta.size
                 ));
@@ -554,74 +761,99 @@ fn proxy_get(
     if origin_resp.status != 200 {
         return Ok(origin_resp);
     }
-    Ok(store_and_serve(state, config, url, target, origin_resp))
+    Ok(store_and_serve(state, url, target, origin_resp, now))
+}
+
+/// Re-reference a document we are serving from memory, so the policy
+/// sees it. Tolerates losing a race with an eviction between the peek
+/// and this touch: the cache request then re-inserts the copy being
+/// served, and its body is restored alongside.
+fn touch_resident(state: &Arc<ProxyState>, url: UrlId, meta: &DocMeta, body: &Bytes, now: u64) {
+    state.cache.with_shard_for(url, |cache, ext| {
+        let r = webcache_trace::Request {
+            time: now,
+            client: ClientId(0),
+            server: ServerId(0),
+            url,
+            size: meta.size,
+            doc_type: meta.doc_type,
+            last_modified: meta.last_modified,
+        };
+        match cache.request(&r) {
+            Outcome::Hit => {}
+            Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
+                for m in evicted {
+                    ext.bodies.remove(&m.url);
+                    ext.fetched_at.remove(&m.url);
+                }
+                ext.bodies.insert(url, body.clone());
+                ext.fetched_at.entry(url).or_insert(now);
+            }
+            Outcome::MissTooBig => {}
+        }
+    });
 }
 
 /// A cache hit: update metadata/policy through the simulator-grade cache.
-fn record_cache_hit(st: &mut ProxyState, url: webcache_trace::UrlId, target: &str, now: u64) {
-    let meta = *st.cache.meta(url).expect("hit on resident doc");
-    let r = webcache_trace::Request {
-        time: now,
-        client: ClientId(0),
-        server: ServerId(0),
-        url,
-        size: meta.size,
-        doc_type: meta.doc_type,
-        last_modified: meta.last_modified,
-    };
-    let outcome = st.cache.request(&r);
-    debug_assert!(outcome.is_hit());
-    st.stats.hits += 1;
-    st.stats.bytes_from_cache += meta.size;
-    let line = format!(
+fn record_cache_hit(
+    state: &Arc<ProxyState>,
+    url: UrlId,
+    meta: &DocMeta,
+    body: &Bytes,
+    target: &str,
+    now: u64,
+) {
+    touch_resident(state, url, meta, body, now);
+    AtomicProxyStats::add(&state.stats.hits, 1);
+    AtomicProxyStats::add(&state.stats.bytes_from_cache, meta.size);
+    state.log.lock().push(format!(
         "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {} HIT",
         meta.size
-    );
-    st.log.push(line);
+    ));
 }
 
 /// Store a 200 origin response (evicting via the policy) and serve it.
 fn store_and_serve(
-    state: &Arc<Mutex<ProxyState>>,
-    _config: ProxyConfig,
-    url: webcache_trace::UrlId,
+    state: &Arc<ProxyState>,
+    url: UrlId,
     target: &str,
     origin_resp: Response,
+    now: u64,
 ) -> Response {
-    let mut st = state.lock();
     let size = origin_resp.body.len() as u64;
-    st.stats.misses += 1;
-    st.stats.bytes_from_origin += size;
-    let now = st.now;
+    AtomicProxyStats::add(&state.stats.misses, 1);
+    AtomicProxyStats::add(&state.stats.bytes_from_origin, size);
     let last_modified = origin_resp.last_modified();
-    let r = webcache_trace::Request {
-        time: now,
-        client: ClientId(0),
-        server: ServerId(0),
-        url,
-        size,
-        doc_type: DocType::classify(target),
-        last_modified,
-    };
-    match st.cache.request(&r) {
-        Outcome::Hit => {
-            // Same URL and size already cached (raced with another
-            // thread); just refresh the body.
-            st.bodies.insert(url, origin_resp.body.clone());
-        }
-        Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
-            for meta in evicted {
-                st.bodies.remove(&meta.url);
-                st.fetched_at.remove(&meta.url);
+    state.cache.with_shard_for(url, |cache, ext| {
+        let r = webcache_trace::Request {
+            time: now,
+            client: ClientId(0),
+            server: ServerId(0),
+            url,
+            size,
+            doc_type: DocType::classify(target),
+            last_modified,
+        };
+        match cache.request(&r) {
+            Outcome::Hit => {
+                // Same URL and size already cached (raced with another
+                // thread); just refresh the body.
+                ext.bodies.insert(url, origin_resp.body.clone());
             }
-            st.bodies.insert(url, origin_resp.body.clone());
-            st.fetched_at.insert(url, now);
+            Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
+                for meta in evicted {
+                    ext.bodies.remove(&meta.url);
+                    ext.fetched_at.remove(&meta.url);
+                }
+                ext.bodies.insert(url, origin_resp.body.clone());
+                ext.fetched_at.insert(url, now);
+            }
+            Outcome::MissTooBig => {
+                // Larger than a shard's capacity: pass through uncached.
+            }
         }
-        Outcome::MissTooBig => {
-            // Larger than the whole cache: pass through uncached.
-        }
-    }
-    st.log.push(format!(
+    });
+    state.log.lock().push(format!(
         "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {size} MISS"
     ));
     Response::ok(origin_resp.body, last_modified).with_cache_status(false)
@@ -641,7 +873,7 @@ mod tests {
         let origin = OriginServer::start(store).unwrap();
         let mut config = ProxyConfig::new(capacity);
         config.ttl = ttl;
-        let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
+        let proxy = ProxyServer::start(origin.addr(), config, || Box::new(named::size())).unwrap();
         (origin, proxy)
     }
 
@@ -679,6 +911,62 @@ mod tests {
         assert!(get(&proxy, "http://o.test/a.html").is_cache_hit());
         assert!(get(&proxy, "http://o.test/c.au").is_cache_hit());
         assert!(!get(&proxy, "http://o.test/b.gif").is_cache_hit());
+    }
+
+    #[test]
+    fn sharded_proxy_still_serves_hits() {
+        let store = Arc::new(DocStore::new());
+        for i in 0..16 {
+            store.put_synthetic(&format!("http://o.test/d{i}.html"), 500 + i * 10, 10);
+        }
+        let origin = OriginServer::start(store).unwrap();
+        let config = ProxyConfig::new(1 << 20).with_shards(4);
+        let proxy = ProxyServer::start(origin.addr(), config, || Box::new(named::lru())).unwrap();
+        assert_eq!(proxy.shard_count(), 4);
+        for i in 0..16 {
+            assert!(!get(&proxy, &format!("http://o.test/d{i}.html")).is_cache_hit());
+        }
+        for i in 0..16 {
+            let r = get(&proxy, &format!("http://o.test/d{i}.html"));
+            assert!(r.is_cache_hit(), "d{i} should be resident");
+            assert_eq!(r.body.len() as u64, 500 + i * 10);
+        }
+        let s = proxy.stats();
+        assert_eq!(s.requests, 32);
+        assert_eq!(s.hits, 16);
+        assert_eq!(s.misses, 16);
+    }
+
+    #[test]
+    fn full_worker_queue_refuses_with_503() {
+        let (_origin, proxy) = {
+            let store = Arc::new(DocStore::new());
+            store.put_synthetic("http://o.test/a.html", 1000, 10);
+            let origin = OriginServer::start(store).unwrap();
+            let config = ProxyConfig::new(100_000)
+                .with_workers(1, 1)
+                .with_timeouts(Duration::from_secs(1), Duration::from_secs(2));
+            let proxy =
+                ProxyServer::start(origin.addr(), config, || Box::new(named::size())).unwrap();
+            (origin, proxy)
+        };
+        // Occupy the single worker: connect and send nothing.
+        let stalled = TcpStream::connect(proxy.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        // Fill the one queue slot.
+        let mut queued = TcpStream::connect(proxy.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // Beyond the bound: refused immediately with 503.
+        let mut refused = TcpStream::connect(proxy.addr()).unwrap();
+        let resp = http::read_response(&mut refused).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(proxy.stats().rejected, 1);
+        // Releasing the stalled connection frees the worker; the queued
+        // client is then served normally.
+        drop(stalled);
+        http::write_request(&mut queued, &Request::get("http://o.test/a.html")).unwrap();
+        let resp = http::read_response(&mut queued).unwrap();
+        assert_eq!(resp.status, 200);
     }
 
     #[test]
@@ -752,7 +1040,7 @@ mod tests {
             ProxyConfig::new(100_000)
                 .with_retries(1, Duration::from_millis(1))
                 .with_breaker(2, 1000),
-            Box::new(named::size()),
+            || Box::new(named::size()),
         )
         .unwrap();
         let r = get(&proxy, "http://o.test/a.html");
@@ -780,7 +1068,7 @@ mod tests {
             ProxyConfig::new(100_000)
                 .with_retries(0, Duration::from_millis(1))
                 .with_breaker(2, 2),
-            Box::new(named::size()),
+            || Box::new(named::size()),
         )
         .unwrap();
         // Two failures trip the breaker.
@@ -817,7 +1105,7 @@ mod tests {
             ProxyConfig::new(100_000)
                 .with_retries(0, Duration::from_millis(1))
                 .with_breaker(2, 1000),
-            Box::new(named::size()),
+            || Box::new(named::size()),
         )
         .unwrap();
         // Trip a.test's breaker.
@@ -849,7 +1137,7 @@ mod tests {
             .with_ttl(1)
             .with_retries(0, Duration::from_millis(1))
             .with_breaker(2, 1000);
-        let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
+        let proxy = ProxyServer::start(origin.addr(), config, || Box::new(named::size())).unwrap();
         // Cache a copy, then lose the origin.
         assert_eq!(get(&proxy, "http://o.test/a.html").status, 200);
         drop(origin);
@@ -901,7 +1189,8 @@ mod tests {
                 .with_ttl(1)
                 .with_retries(0, Duration::from_millis(1))
                 .with_serve_stale(false);
-            let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
+            let proxy =
+                ProxyServer::start(origin.addr(), config, || Box::new(named::size())).unwrap();
             (origin, proxy)
         };
         get(&proxy, "http://o.test/a.html");
@@ -924,7 +1213,7 @@ mod tests {
             .with_retries(1, Duration::from_millis(1))
             .with_breaker(50, 1000);
         config.ttl = ttl;
-        let proxy = ProxyServer::start(origin.addr(), config, Box::new(named::size())).unwrap();
+        let proxy = ProxyServer::start(origin.addr(), config, || Box::new(named::size())).unwrap();
         (origin, proxy)
     }
 

@@ -12,6 +12,11 @@ use std::io::{BufRead, BufReader, Read, Write};
 pub const MAX_BODY: u64 = 1 << 30;
 /// Upper bound on the header count of one message.
 pub const MAX_HEADERS: usize = 128;
+/// Upper bound on any single request/status/header line, so a peer that
+/// never sends a line break cannot make the reader allocate unbounded
+/// memory. Oversized lines surface as [`HttpError::Malformed`] (the proxy
+/// answers 400), never as a panic or an unbounded buffer.
+pub const MAX_LINE: usize = 8 * 1024;
 
 /// Errors from reading or writing HTTP messages.
 #[derive(Debug)]
@@ -166,12 +171,24 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Read one line of at most [`MAX_LINE`] bytes. A longer line is rejected
+/// as malformed instead of buffering without bound.
+fn read_line_bounded<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut line = String::new();
+    reader.by_ref().take(MAX_LINE as u64).read_line(&mut line)?;
+    if line.len() >= MAX_LINE && !line.ends_with('\n') {
+        return Err(HttpError::Malformed(format!(
+            "line exceeds the {MAX_LINE}-byte limit"
+        )));
+    }
+    Ok(line)
+}
+
 /// Read one request from a stream (any `Read` — a socket or a test
 /// buffer).
 pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let line = read_line_bounded(&mut reader)?;
     let mut parts = line.split_ascii_whitespace();
     let method = parts
         .next()
@@ -207,8 +224,7 @@ pub fn write_request<S: Write>(stream: &mut S, req: &Request) -> Result<(), Http
 /// Read a response (headers + `Content-Length` body) from a stream.
 pub fn read_response<S: Read>(stream: &mut S) -> Result<Response, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let line = read_line_bounded(&mut reader)?;
     let mut parts = line.split_ascii_whitespace();
     let version = parts
         .next()
@@ -264,8 +280,7 @@ pub fn write_response<S: Write>(stream: &mut S, resp: &Response) -> Result<(), H
 fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, HttpError> {
     let mut headers = BTreeMap::new();
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
+        let line = read_line_bounded(reader)?;
         let line = line.trim_end();
         if line.is_empty() {
             return Ok(headers);
@@ -398,6 +413,26 @@ mod tests {
             let _ = b.write_all(b"\r\n");
         });
         assert!(read_response(&mut a).is_err());
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_not_buffered() {
+        // Request line 2×MAX_LINE long: malformed, not an unbounded read.
+        let mut big = b"GET http://o.test/".to_vec();
+        big.extend(std::iter::repeat(b'a').take(2 * MAX_LINE));
+        big.extend_from_slice(b" HTTP/1.0\r\n\r\n");
+        assert!(read_request(&mut big.as_slice()).is_err());
+        // Oversized header line on the response path, too.
+        let mut hdr = b"HTTP/1.0 200 OK\r\nx: ".to_vec();
+        hdr.extend(std::iter::repeat(b'v').take(2 * MAX_LINE));
+        hdr.extend_from_slice(b"\r\n\r\n");
+        assert!(read_response(&mut hdr.as_slice()).is_err());
+        // A line exactly at the limit (incl. newline) still parses.
+        let target_len = MAX_LINE - "GET  HTTP/1.0\r\n".len();
+        let exact = format!("GET {} HTTP/1.0\r\n\r\n", "b".repeat(target_len)).into_bytes();
+        assert_eq!(exact.len() - 2, MAX_LINE);
+        let got = read_request(&mut exact.as_slice()).unwrap();
+        assert_eq!(got.target.len(), target_len);
     }
 
     #[test]

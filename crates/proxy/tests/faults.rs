@@ -54,7 +54,8 @@ fn single_doc_setup(
     store.put_synthetic("http://o.test/a.html", 1000, 10);
     let origin = OriginServer::start(store).expect("origin");
     let faulty = FaultyOrigin::start(origin.addr(), plan).expect("shim");
-    let proxy = ProxyServer::start(faulty.addr(), config, Box::new(named::lru())).expect("proxy");
+    let proxy =
+        ProxyServer::start(faulty.addr(), config, || Box::new(named::lru())).expect("proxy");
     (origin, faulty, proxy)
 }
 
@@ -92,7 +93,7 @@ fn short_delays_are_transparent_and_hits_match_the_simulator() {
     let proxy = ProxyServer::start(
         faulty.addr(),
         ProxyConfig::new(capacity).with_retries(0, Duration::from_millis(1)),
-        Box::new(named::size()),
+        || Box::new(named::size()),
     )
     .expect("proxy");
     let mut proxy_hits = 0u64;
@@ -155,7 +156,8 @@ fn stalls_time_out_and_cached_documents_are_served_stale() {
     store.put_synthetic("http://o.test/b.gif", 3000, 10);
     let origin = OriginServer::start(store).expect("origin");
     let faulty = FaultyOrigin::start(origin.addr(), plan).expect("shim");
-    let proxy = ProxyServer::start(faulty.addr(), config, Box::new(named::lru())).expect("proxy");
+    let proxy =
+        ProxyServer::start(faulty.addr(), config, || Box::new(named::lru())).expect("proxy");
 
     // Warm-up (connections 0 and 1 pass cleanly).
     assert_eq!(get(&proxy, "http://o.test/a.html").status, 200); // tick 1
@@ -281,7 +283,7 @@ fn workload_under_mixed_faults_never_fails_cached_documents() {
             .with_ttl(5)
             .with_retries(1, Duration::from_millis(1))
             .with_breaker(4, 8),
-        Box::new(named::lru()),
+        || Box::new(named::lru()),
     )
     .expect("proxy");
 

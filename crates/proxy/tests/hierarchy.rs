@@ -26,19 +26,15 @@ fn origin_with_docs() -> OriginServer {
 #[test]
 fn chained_proxies_shield_the_origin() {
     let origin = origin_with_docs();
-    let parent = ProxyServer::start(
-        origin.addr(),
-        ProxyConfig::new(1_000_000),
-        Box::new(named::lru()),
-    )
+    let parent = ProxyServer::start(origin.addr(), ProxyConfig::new(1_000_000), || {
+        Box::new(named::lru())
+    })
     .expect("parent proxy");
     // The child treats the parent exactly as it would an origin: both
     // speak absolute-URI GET.
-    let child = ProxyServer::start(
-        parent.addr(),
-        ProxyConfig::new(1_000_000),
-        Box::new(named::size()),
-    )
+    let child = ProxyServer::start(parent.addr(), ProxyConfig::new(1_000_000), || {
+        Box::new(named::size())
+    })
     .expect("child proxy");
 
     // First fetch: miss at child, miss at parent, one origin response.
@@ -54,11 +50,9 @@ fn chained_proxies_shield_the_origin() {
 
     // A *fresh* child (cold edge cache) pointing at the same parent: the
     // parent satisfies the miss; the origin still saw exactly one fetch.
-    let cold_child = ProxyServer::start(
-        parent.addr(),
-        ProxyConfig::new(1_000_000),
-        Box::new(named::size()),
-    )
+    let cold_child = ProxyServer::start(parent.addr(), ProxyConfig::new(1_000_000), || {
+        Box::new(named::size())
+    })
     .expect("cold child");
     let r3 = get(cold_child.addr(), "http://o.test/a.html");
     assert_eq!(r3.status, 200);
@@ -74,11 +68,9 @@ fn chained_proxies_shield_the_origin() {
 #[test]
 fn conditional_get_propagates_down_the_chain() {
     let origin = origin_with_docs();
-    let parent = ProxyServer::start(
-        origin.addr(),
-        ProxyConfig::new(1_000_000),
-        Box::new(named::lru()),
-    )
+    let parent = ProxyServer::start(origin.addr(), ProxyConfig::new(1_000_000), || {
+        Box::new(named::lru())
+    })
     .expect("parent");
     // Warm the parent.
     let r = get(parent.addr(), "http://o.test/b.gif");
@@ -113,16 +105,14 @@ fn starved_edge_with_big_parent_mirrors_experiment3() {
     // big one — "SIZE as a primary key will always transmit the largest
     // document from primary to second level cache".
     let origin = origin_with_docs();
-    let parent = ProxyServer::start(
-        origin.addr(),
-        ProxyConfig::new(1_000_000),
-        Box::new(named::lru()),
-    )
+    let parent = ProxyServer::start(origin.addr(), ProxyConfig::new(1_000_000), || {
+        Box::new(named::lru())
+    })
     .expect("parent");
     let edge = ProxyServer::start(
         parent.addr(),
         ProxyConfig::new(6_000), // holds 2k + 5k? no: evicts by SIZE
-        Box::new(named::size()),
+        || Box::new(named::size()),
     )
     .expect("edge");
 

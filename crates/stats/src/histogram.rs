@@ -75,6 +75,44 @@ impl Histogram {
         Some(self.edges[i])
     }
 
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) at bin resolution,
+    /// linearly interpolated inside the straddling bin. Overflow
+    /// observations sit past the last bin, so a quantile landing among
+    /// them reports the last bin's upper edge — a lower bound on the
+    /// true value. `None` for an empty histogram or `q` out of range.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * total as f64;
+        let mut acc = 0.0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let next = acc + count as f64;
+            if next >= target && count > 0 {
+                let lo = self.edges[i];
+                let hi = self.bin_upper_edge(i);
+                let frac = ((target - acc) / count as f64).clamp(0.0, 1.0);
+                return Some(lo + ((hi - lo) as f64 * frac) as u64);
+            }
+            acc = next;
+        }
+        self.edges
+            .last()
+            .map(|_| self.bin_upper_edge(self.edges.len() - 1))
+    }
+
+    /// The exclusive upper edge of bin `i`. The last bin has no recorded
+    /// edge; mirror `cumulative_fraction_below`'s convention of doubling
+    /// its lower edge.
+    fn bin_upper_edge(&self, i: usize) -> u64 {
+        let lo = self.edges[i];
+        self.edges
+            .get(i + 1)
+            .copied()
+            .unwrap_or_else(|| lo.saturating_mul(2).max(lo + 1))
+    }
+
     /// Fraction of (non-overflow) observations at or below `value`,
     /// resolved at bin granularity (whole bins whose range lies within
     /// `..=value` count fully; the straddling bin counts proportionally).
@@ -148,7 +186,32 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_bins() {
+        // Uniform 0..10_000: quantiles land near q * 10_000.
+        let sizes: Vec<u64> = (0..1000).map(|i| i * 10).collect();
+        let h = Histogram::linear(&sizes, 100, 10_000);
+        for (q, expect) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = h.quantile(q).unwrap();
+            assert!(
+                got.abs_diff(expect) <= 100,
+                "q={q}: got {got}, expected ~{expect}"
+            );
+        }
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(1.0));
+        // A quantile landing in overflow reports the binned upper bound
+        // (the doubled-last-edge convention of cumulative_fraction_below).
+        let h = Histogram::linear(&[50, 50, 50, 99_999], 100, 1_000);
+        assert_eq!(h.quantile(1.0), Some(1_800));
+        // Out-of-range q is refused.
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(-0.1), None);
+    }
+
+    #[test]
     fn empty_histograms_are_sane() {
+        assert_eq!(Histogram::linear(&[], 10, 100).quantile(0.5), None);
         let h = Histogram::linear(&[], 10, 100);
         assert_eq!(h.total(), 0);
         assert_eq!(h.cumulative_fraction_below(50), 0.0);

@@ -374,25 +374,35 @@ pub fn to_bytes(trace: &Trace) -> io::Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Write a trace to `path` atomically: the bytes go to a same-directory
-/// temporary file which is renamed into place only after a successful
-/// flush and fsync, so a crashed or killed run never leaves a truncated
-/// `.wct` where a good one (or nothing) should be.
-pub fn save(trace: &Trace, path: &Path) -> io::Result<()> {
+/// Write `bytes` to `path` atomically: a same-directory temporary file is
+/// written, flushed, fsynced, and renamed into place, so a crashed or
+/// killed run leaves either the previous complete file or the new one —
+/// never a torn write. This is the workspace's single crash-discipline
+/// helper, shared by packed traces ([`save`]), checkpoint containers
+/// ([`save_sections`]), the experiments runner's result JSON, and the
+/// supervisor's heartbeat file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
     tmp_name.push(format!(".tmp.{}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
     let result = (|| {
-        let mut w = io::BufWriter::new(File::create(&tmp)?);
-        write_trace(trace, &mut w)?;
-        w.flush()?;
-        w.get_ref().sync_all()?;
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+        f.sync_all()?;
         std::fs::rename(&tmp, path)
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     result
+}
+
+/// Write a trace to `path` atomically (via [`write_atomic`]), so a
+/// crashed or killed run never leaves a truncated `.wct` where a good one
+/// (or nothing) should be.
+pub fn save(trace: &Trace, path: &Path) -> io::Result<()> {
+    write_atomic(path, &to_bytes(trace)?)
 }
 
 /// Byte-slice reader with explicit little-endian decoding. Every read is
@@ -733,26 +743,11 @@ pub fn read_sections(bytes: &[u8]) -> Result<Vec<Vec<u8>>, BinError> {
     Ok(sections)
 }
 
-/// Write a `.wcp` container to `path` atomically: sibling temporary file,
-/// flush, fsync, rename — the same crash discipline as [`save`], so a
-/// killed run leaves either the previous complete checkpoint or the new
-/// one, never a torn file.
+/// Write a `.wcp` container to `path` atomically (via [`write_atomic`] —
+/// the same crash discipline as [`save`]), so a killed run leaves either
+/// the previous complete checkpoint or the new one, never a torn file.
 pub fn save_sections(path: &Path, sections: &[Vec<u8>]) -> io::Result<()> {
-    let bytes = sections_to_bytes(sections);
-    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = path.with_file_name(tmp_name);
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.flush()?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    result
+    write_atomic(path, &sections_to_bytes(sections))
 }
 
 /// Load and verify a `.wcp` container from `path`.

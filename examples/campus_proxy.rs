@@ -45,11 +45,9 @@ fn main() {
     // anecdote is about a well-provisioned cache at the campus edge —
     // the savings below come from re-references, not from squeezing.
     let capacity = last_size.values().sum::<u64>();
-    let proxy = ProxyServer::start(
-        origin.addr(),
-        ProxyConfig::new(capacity),
-        Box::new(webcache::core::policy::named::size()),
-    )
+    let proxy = ProxyServer::start(origin.addr(), ProxyConfig::new(capacity), || {
+        Box::new(webcache::core::policy::named::size())
+    })
     .expect("proxy starts");
 
     // Replay the trace (single client connection per request, HTTP/1.0

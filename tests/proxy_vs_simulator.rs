@@ -62,11 +62,9 @@ fn proxy_hits_match_simulator_hits() {
 
     // Real proxy over loopback TCP, same policy and capacity.
     let origin = OriginServer::start(store).expect("origin");
-    let proxy = ProxyServer::start(
-        origin.addr(),
-        ProxyConfig::new(capacity),
-        Box::new(named::size()),
-    )
+    let proxy = ProxyServer::start(origin.addr(), ProxyConfig::new(capacity), || {
+        Box::new(named::size())
+    })
     .expect("proxy");
     let mut proxy_hits = 0u64;
     for (url, size) in &seq {
@@ -96,11 +94,9 @@ fn proxy_log_validates_through_the_trace_pipeline() {
     let trace = generate(&profile, 5);
     let (store, seq) = static_sequence(&trace);
     let origin = OriginServer::start(store).expect("origin");
-    let proxy = ProxyServer::start(
-        origin.addr(),
-        ProxyConfig::new(10_000_000),
-        Box::new(named::lru()),
-    )
+    let proxy = ProxyServer::start(origin.addr(), ProxyConfig::new(10_000_000), || {
+        Box::new(named::lru())
+    })
     .expect("proxy");
     for (url, _) in &seq {
         let mut s = TcpStream::connect(proxy.addr()).expect("connect");
