@@ -45,8 +45,8 @@
 //!   blocked.
 
 use crate::cache::{Cache, CacheState, CacheStats, Counts, Outcome};
-use crate::policy::key::splitmix64;
 use crate::policy::RemovalPolicy;
+use crate::util::splitmix64;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use webcache_trace::{Request, UrlId};
@@ -237,6 +237,35 @@ impl<X> ShardedCache<X> {
         let out = f(&mut shard.cache, &mut shard.ext);
         self.stats[idx].mirror(&shard.cache);
         out
+    }
+
+    /// Non-blocking variant of [`ShardedCache::with_shard_for`]: run `f`
+    /// under the owning shard's lock only if it can be acquired without
+    /// waiting. Returns `None` when the shard is currently held by
+    /// another thread — the caller (e.g. the reactor's event loop, which
+    /// must never block) falls back to its slow path. Identical
+    /// semantics to the blocking form when it does run: the stats mirror
+    /// is refreshed before the lock is released.
+    pub fn try_with_shard_for<R>(
+        &self,
+        url: UrlId,
+        f: impl FnOnce(&mut Cache, &mut X) -> R,
+    ) -> Option<R> {
+        self.try_with_shard(self.shard_index(url), f)
+    }
+
+    /// Non-blocking variant of [`ShardedCache::with_shard`] (see
+    /// [`ShardedCache::try_with_shard_for`]).
+    pub fn try_with_shard<R>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&mut Cache, &mut X) -> R,
+    ) -> Option<R> {
+        let mut guard = self.shards[idx].try_lock()?;
+        let shard = &mut *guard;
+        let out = f(&mut shard.cache, &mut shard.ext);
+        self.stats[idx].mirror(&shard.cache);
+        Some(out)
     }
 
     /// Handle one request in the shard owning its URL, with the exact
@@ -439,6 +468,47 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn try_with_shard_runs_when_free_and_declines_when_held() {
+        let sharded: Arc<ShardedCache> =
+            Arc::new(ShardedCache::new(1 << 20, 2, || Box::new(named::lru())));
+        // Free shard: runs, same effects as the blocking form.
+        let out = sharded.try_with_shard_for(UrlId(7), |cache, _| {
+            cache.request(&req(1, 7, 100));
+            cache.used()
+        });
+        assert_eq!(out, Some(100));
+        assert_eq!(sharded.used(), 100, "stats mirror refreshed on try path");
+
+        // Held shard: declines without blocking; the other shard still
+        // serves.
+        let idx = sharded.shard_index(UrlId(7));
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let holder = {
+            let c = Arc::clone(&sharded);
+            std::thread::spawn(move || {
+                c.with_shard(idx, |_, _| {
+                    tx.send(()).unwrap();
+                    done_rx.recv().unwrap();
+                });
+            })
+        };
+        rx.recv().unwrap();
+        assert!(
+            sharded.try_with_shard(idx, |_, _| ()).is_none(),
+            "held shard must decline"
+        );
+        assert!(
+            sharded.try_with_shard(idx ^ 1, |_, _| ()).is_some(),
+            "the other shard is independent"
+        );
+        done_tx.send(()).unwrap();
+        holder.join().unwrap();
+        // Released: the try path runs again.
+        assert!(sharded.try_with_shard(idx, |_, _| ()).is_some());
     }
 
     #[test]

@@ -49,6 +49,7 @@
 pub mod cache;
 pub mod policy;
 pub mod sim;
+pub mod util;
 
 pub use cache::{Cache, CacheStats, Counts, DocMeta, Outcome, ShardedCache};
 pub use policy::{Key, KeySpec, RemovalPolicy, SortedPolicy};

@@ -125,14 +125,9 @@ impl std::fmt::Display for Key {
     }
 }
 
-/// SplitMix64: a tiny, high-quality mixing function used for deterministic
-/// random tie-breaking.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// SplitMix64 (re-exported from [`crate::util`]) — kept under this path
+/// for the policy-internal callers.
+pub(crate) use crate::util::splitmix64;
 
 /// A (primary, secondary, tertiary) key combination — one removal policy in
 /// the paper's taxonomy. The tertiary key is always [`Key::Random`] in the

@@ -1,34 +1,52 @@
 //! # webcache-loadgen
 //!
-//! A closed-loop, multi-threaded load generator that replays a workload
-//! trace against a live [`webcache_proxy::ProxyServer`] backed by a
+//! A multi-threaded load generator that replays a workload trace
+//! against a live [`webcache_proxy::ProxyServer`] backed by a
 //! fault-free [`webcache_proxy::origin::OriginServer`], measuring what
-//! the offline benchmarks cannot: served-traffic latency and throughput.
+//! the offline benchmarks cannot: served-traffic latency and
+//! throughput, under either serving backend.
 //!
-//! *Closed loop*: each client thread issues one request, waits for the
-//! full response, then takes the next request off a shared cursor — so
-//! offered load adapts to what the proxy can absorb and the measured
-//! latency distribution is not inflated by coordinated-omission queueing
-//! at the client.
+//! Two pacing modes:
+//!
+//! * **Closed loop** (default): each client thread issues one request,
+//!   waits for the full response, then takes the next request off a
+//!   shared cursor — offered load adapts to what the proxy can absorb.
+//! * **Open loop** ([`ReplayConfig::time_scale`]): requests are issued
+//!   at their trace timestamps compressed by a factor *K*, whether or
+//!   not earlier responses have come back — offered load is what the
+//!   trace says, and queueing delay shows up in the tail instead of
+//!   silently throttling the generator. Latency is measured from each
+//!   request's *scheduled* time, so coordinated omission is accounted
+//!   for.
+//!
+//! Independently, [`ReplayConfig::slow_clients`] adds a population of
+//! clients that dribble their request bytes a few at a time, always
+//! inside the proxy's read timeout — well-behaved wire traffic that
+//! completes eventually. Under the threaded backend each one pins a
+//! worker for the duration of its dribble; under the reactor they cost
+//! only buffers. Their outcomes are tracked separately
+//! ([`ReplayReport::slow_ok`] / [`ReplayReport::slow_errors`]) so the
+//! closed-loop error gate stays meaningful.
 //!
 //! Per-request latency (connect → full body) is recorded in
 //! microseconds into a [`webcache_stats::Histogram`] (log₂ bins) and
 //! reported as p50/p90/p99 plus the exact maximum, together with
-//! aggregate req/s. The shard sweep in `src/main.rs` replays the same
-//! trace at shard counts {1, 2, ncores} to quantify the scaling win of
-//! the sharded runtime over the single-lock baseline; results land in
-//! `BENCH_proxy.json` (see README "Serving benchmark").
+//! aggregate req/s and goodput (200-responses only). The sweep in
+//! `src/main.rs` replays the same trace across shard counts and both
+//! serving backends; results land in `BENCH_proxy.json` (see README
+//! "Serving benchmark").
 
 #![warn(missing_docs)]
 
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use webcache_core::policy::RemovalPolicy;
 use webcache_proxy::http::{self, Request, Response};
 use webcache_proxy::origin::{DocStore, OriginServer};
-use webcache_proxy::{ProxyConfig, ProxyServer};
+use webcache_proxy::{ProxyConfig, ProxyServer, ServingBackend};
 use webcache_stats::Histogram;
 use webcache_trace::Trace;
 
@@ -45,6 +63,31 @@ pub struct ReplayConfig {
     pub queue_depth: usize,
     /// Proxy cache capacity in bytes.
     pub capacity: u64,
+    /// Serving backend the proxy runs.
+    pub backend: ServingBackend,
+    /// Additional clients dribbling their requests slowly (but always
+    /// within the read timeout). Zero disables them.
+    pub slow_clients: usize,
+    /// `Some(K)` switches the measured clients to open-loop pacing:
+    /// request *i* is issued at `trace_time[i] / K` seconds after the
+    /// replay starts, and latency is measured from that scheduled
+    /// instant. `None` is closed-loop.
+    pub time_scale: Option<f64>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            clients: 4,
+            shards: 1,
+            workers: 4,
+            queue_depth: 64,
+            capacity: 1 << 20,
+            backend: ServingBackend::Threaded,
+            slow_clients: 0,
+            time_scale: None,
+        }
+    }
 }
 
 /// Latency quantiles over one replay, in microseconds. p50/p90/p99 are
@@ -64,23 +107,39 @@ pub struct LatencySummary {
 /// The outcome of replaying one trace through one proxy configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ReplayReport {
+    /// Serving backend the proxy ran.
+    pub backend: ServingBackend,
     /// Shard count the proxy ran with.
     pub shards: usize,
     /// Client threads used.
     pub clients: usize,
-    /// Requests issued (= trace length).
+    /// Slow-client threads that ran alongside.
+    pub slow_clients: usize,
+    /// Open-loop time compression factor, if open-loop pacing was used.
+    pub time_scale: Option<f64>,
+    /// Requests issued by the measured clients (= trace length).
     pub requests: u64,
-    /// Client-visible failures: I/O errors or any non-200 response.
+    /// Client-visible failures among measured clients: I/O errors or
+    /// any non-200 response.
     pub errors: u64,
+    /// Requests completed by the slow-client population.
+    pub slow_ok: u64,
+    /// Failures among the slow-client population (tracked apart from
+    /// `errors`: under the threaded backend an overloaded proxy sheds
+    /// them by design).
+    pub slow_errors: u64,
     /// Proxy-side hits (cache-served + revalidated).
     pub hits: u64,
     /// Proxy-side hit rate over all requests.
     pub hit_rate: f64,
     /// Wall-clock duration of the whole replay.
     pub elapsed_secs: f64,
-    /// Aggregate throughput across all clients.
+    /// Aggregate throughput across measured clients (all responses).
     pub requests_per_sec: f64,
-    /// Per-request latency distribution.
+    /// Goodput: 200 responses per second across measured clients.
+    pub ok_per_sec: f64,
+    /// Per-request latency distribution (from the scheduled instant
+    /// under open-loop pacing, from issue time otherwise).
     pub latency: LatencySummary,
 }
 
@@ -108,9 +167,29 @@ fn fetch(addr: SocketAddr, url: &str) -> Result<Response, http::HttpError> {
     http::read_response(&mut stream)
 }
 
-/// Replay `trace` through a freshly started origin + proxy pair with
-/// `cfg.shards` shards, returning the measured report. `policy`
-/// constructs one removal-policy instance per shard.
+/// One GET dribbled a few bytes at a time, pausing `pace` between
+/// chunks — always inside the proxy's read timeout, so a correct proxy
+/// must serve it, however long it chooses to wait.
+fn fetch_slowly(addr: SocketAddr, url: &str, pace: Duration, stop: &AtomicBool) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let wire = format!("GET {url} HTTP/1.0\r\n\r\n");
+    for chunk in wire.as_bytes().chunks(4) {
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        if stream.write_all(chunk).is_err() || stream.flush().is_err() {
+            return false;
+        }
+        std::thread::sleep(pace);
+    }
+    matches!(http::read_response(&mut stream), Ok(r) if r.status == 200)
+}
+
+/// Replay `trace` through a freshly started origin + proxy pair,
+/// returning the measured report. `policy` constructs one
+/// removal-policy instance per shard.
 pub fn replay(
     trace: &Trace,
     cfg: ReplayConfig,
@@ -119,22 +198,51 @@ pub fn replay(
     let origin = OriginServer::start(seed_origin(trace))?;
     let pconfig = ProxyConfig::new(cfg.capacity)
         .with_shards(cfg.shards)
-        .with_workers(cfg.workers, cfg.queue_depth);
+        .with_workers(cfg.workers, cfg.queue_depth)
+        .with_backend(cfg.backend);
     let proxy = ProxyServer::start(origin.addr(), pconfig, policy)?;
     let addr = proxy.addr();
 
     // Resolve URL text once, up front — the replay loop must not pay an
-    // interner lookup inside the timed section.
+    // interner lookup inside the timed section. Timestamps ride along
+    // for open-loop scheduling.
     let urls: Vec<&str> = trace
         .requests
         .iter()
         .map(|r| trace.interner.url_text(r.url).unwrap_or(""))
         .collect();
+    let times: Vec<u64> = trace.requests.iter().map(|r| r.time).collect();
+    let t0 = times.first().copied().unwrap_or(0);
+
+    // Slow clients pace their dribble to a third of the proxy's read
+    // timeout: unambiguously alive, unambiguously slow.
+    let pace = (pconfig.read_timeout / 3).min(Duration::from_millis(100));
 
     let cursor = AtomicUsize::new(0);
     let errors = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let slow_ok = AtomicU64::new(0);
+    let slow_errors = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
     let started = Instant::now();
     let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        for _ in 0..cfg.slow_clients {
+            scope.spawn(|| {
+                // First trace URL: after its first fetch, a steady
+                // cache hit — the load is the dribble, not the miss.
+                let url = urls.first().copied().unwrap_or("http://slow.test/x");
+                while !stop.load(Ordering::Relaxed) {
+                    if fetch_slowly(addr, url, pace, &stop) {
+                        slow_ok.fetch_add(1, Ordering::Relaxed);
+                    } else if !stop.load(Ordering::Relaxed) {
+                        slow_errors.fetch_add(1, Ordering::Relaxed);
+                        // A shed or refused connection must not turn
+                        // into a reconnect hot loop at high counts.
+                        std::thread::sleep(pace);
+                    }
+                }
+            });
+        }
         let handles: Vec<_> = (0..cfg.clients.max(1))
             .map(|_| {
                 scope.spawn(|| {
@@ -142,10 +250,20 @@ pub fn replay(
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(url) = urls.get(i) else { break };
-                        let t0 = Instant::now();
-                        let ok = matches!(fetch(addr, url), Ok(resp) if resp.status == 200);
-                        local.push(t0.elapsed().as_micros() as u64);
-                        if !ok {
+                        let issue_at = match cfg.time_scale {
+                            Some(k) if k > 0.0 => {
+                                let offset = Duration::from_secs_f64((times[i] - t0) as f64 / k);
+                                let sched = started + offset;
+                                std::thread::sleep(sched.saturating_duration_since(Instant::now()));
+                                sched
+                            }
+                            _ => Instant::now(),
+                        };
+                        let good = matches!(fetch(addr, url), Ok(resp) if resp.status == 200);
+                        local.push(issue_at.elapsed().as_micros() as u64);
+                        if good {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        } else {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -153,10 +271,12 @@ pub fn replay(
                 })
             })
             .collect();
-        handles
+        let out = handles
             .into_iter()
             .flat_map(|h| h.join().unwrap_or_default())
-            .collect()
+            .collect();
+        stop.store(true, Ordering::Relaxed);
+        out
     });
     let elapsed = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
@@ -165,19 +285,28 @@ pub fn replay(
     let q = |p: f64| hist.quantile(p).unwrap_or(0);
     let stats = proxy.stats();
     let requests = urls.len() as u64;
+    let per_sec = |n: u64| {
+        if elapsed > 0.0 {
+            n as f64 / elapsed
+        } else {
+            0.0
+        }
+    };
     Ok(ReplayReport {
+        backend: cfg.backend,
         shards: cfg.shards,
         clients: cfg.clients.max(1),
+        slow_clients: cfg.slow_clients,
+        time_scale: cfg.time_scale,
         requests,
         errors: errors.load(Ordering::Relaxed),
+        slow_ok: slow_ok.load(Ordering::Relaxed),
+        slow_errors: slow_errors.load(Ordering::Relaxed),
         hits: stats.hits + stats.revalidated,
         hit_rate: stats.hit_rate(),
         elapsed_secs: elapsed,
-        requests_per_sec: if elapsed > 0.0 {
-            requests as f64 / elapsed
-        } else {
-            0.0
-        },
+        requests_per_sec: per_sec(requests),
+        ok_per_sec: per_sec(ok.load(Ordering::Relaxed)),
         latency: LatencySummary {
             p50_us: q(0.50),
             p90_us: q(0.90),
@@ -224,9 +353,7 @@ mod tests {
             ReplayConfig {
                 clients: 4,
                 shards: 2,
-                workers: 4,
-                queue_depth: 64,
-                capacity: 1 << 20,
+                ..ReplayConfig::default()
             },
             || Box::new(named::lru()),
         )
@@ -238,6 +365,57 @@ mod tests {
         // the same URL, which double-miss.
         assert!(report.hits >= 150, "hits = {}", report.hits);
         assert!(report.requests_per_sec > 0.0);
+        assert!(report.ok_per_sec > 0.0);
         assert!(report.latency.p50_us <= report.latency.max_us);
+    }
+
+    #[test]
+    fn reactor_replay_with_slow_clients_stays_clean() {
+        let trace = tiny_trace();
+        let report = replay(
+            &trace,
+            ReplayConfig {
+                clients: 4,
+                shards: 2,
+                backend: ServingBackend::Reactor,
+                slow_clients: 8,
+                ..ReplayConfig::default()
+            },
+            || Box::new(named::lru()),
+        )
+        .expect("replay");
+        assert_eq!(report.backend, ServingBackend::Reactor);
+        assert_eq!(report.errors, 0, "reactor must absorb slow clients");
+        assert_eq!(
+            report.slow_errors, 0,
+            "slow-but-live clients must be served, not timed out"
+        );
+        assert!(report.hits >= 150, "hits = {}", report.hits);
+    }
+
+    #[test]
+    fn open_loop_paces_requests_to_scaled_trace_time() {
+        let trace = tiny_trace(); // timestamps 0..199 s
+        let started = Instant::now();
+        let report = replay(
+            &trace,
+            ReplayConfig {
+                clients: 8,
+                // 400x compression: 199 trace-seconds ≈ 0.5 wall-seconds.
+                time_scale: Some(400.0),
+                ..ReplayConfig::default()
+            },
+            || Box::new(named::lru()),
+        )
+        .expect("replay");
+        let wall = started.elapsed();
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.time_scale, Some(400.0));
+        // The replay cannot finish before the last scheduled instant —
+        // open loop is paced by the trace clock, not by responses.
+        assert!(
+            wall >= Duration::from_millis(450),
+            "finished in {wall:?}; open-loop pacing was not applied"
+        );
     }
 }

@@ -1,26 +1,35 @@
 //! Serving benchmark: replay a packed `.wct` trace against a live
-//! proxy/origin pair at several shard counts and write `BENCH_proxy.json`
-//! at the repository root (format documented in README "Serving
-//! benchmark").
+//! proxy/origin pair across shard counts and serving backends, and
+//! write `BENCH_proxy.json` at the repository root (format documented
+//! in README "Serving benchmark").
 //!
 //! ```text
 //! loadgen [--trace path.wct] [--profile u] [--scale 0.05] [--seed 1]
 //!         [--clients N] [--workers N] [--shards 1,2,4]
+//!         [--serving-backend threaded|reactor|both]
+//!         [--slow-clients 0,4,1000] [--open-loop] [--time-scale K]
 //!         [--capacity-frac 0.25] [--json path] [--smoke]
 //! ```
 //!
 //! Without `--trace`, a workload is generated from `--profile` at
 //! `--scale`, saved as a packed trace in a temp file, and loaded back
 //! through the mmap path — so the bench exercises the same `.wct` load
-//! path as production replays. `--smoke` is the CI gate: a tiny trace,
-//! 2 shards only, asserting zero client-visible errors and a nonzero
-//! hit count.
+//! path as production replays.
+//!
+//! `--slow-clients` sweeps populations of clients that dribble request
+//! bytes inside the read timeout: the A/B stressor that pins threaded
+//! workers but costs the reactor only buffers. `--open-loop --time-scale K` issues
+//! requests at trace timestamps compressed K-fold instead of closed
+//! loop. `--smoke` is the CI gate: a tiny trace, both backends with a
+//! handful of slow clients, asserting zero client-visible errors on
+//! each and reactor goodput at least matching threaded.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use webcache_core::cache::sharded::default_shard_count;
 use webcache_core::policy::named;
 use webcache_loadgen::{replay, ReplayConfig, ReplayReport};
+use webcache_proxy::ServingBackend;
 use webcache_trace::binfmt;
 use webcache_trace::Trace;
 use webcache_workload::{generator, profiles};
@@ -33,6 +42,10 @@ struct Args {
     clients: usize,
     workers: usize,
     shards: Option<Vec<usize>>,
+    backends: Vec<ServingBackend>,
+    slow_clients: Vec<usize>,
+    open_loop: bool,
+    time_scale: f64,
     capacity_frac: f64,
     json: PathBuf,
     smoke: bool,
@@ -50,6 +63,10 @@ fn parse_args() -> Args {
         clients: (2 * cores).max(4),
         workers: 4 * cores,
         shards: None,
+        backends: vec![ServingBackend::Threaded],
+        slow_clients: vec![0],
+        open_loop: false,
+        time_scale: 1000.0,
         capacity_frac: 0.25,
         json: PathBuf::from(concat!(
             env!("CARGO_MANIFEST_DIR"),
@@ -82,6 +99,28 @@ fn parse_args() -> Args {
                         .collect(),
                 )
             }
+            "--serving-backend" => {
+                let v = val("--serving-backend");
+                args.backends = match v.as_str() {
+                    "both" => vec![ServingBackend::Threaded, ServingBackend::Reactor],
+                    name => vec![ServingBackend::parse(name)
+                        .unwrap_or_else(|| panic!("unknown backend {name:?}"))],
+                };
+            }
+            "--slow-clients" => {
+                args.slow_clients = val("--slow-clients")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .expect("--slow-clients: comma-separated integers")
+                    })
+                    .collect()
+            }
+            "--open-loop" => args.open_loop = true,
+            "--time-scale" => {
+                args.time_scale = val("--time-scale").parse().expect("--time-scale: float")
+            }
             "--capacity-frac" => {
                 args.capacity_frac = val("--capacity-frac")
                     .parse()
@@ -113,18 +152,28 @@ fn load_trace(args: &Args) -> Trace {
     loaded
 }
 
-fn run_json(r: &ReplayReport) -> String {
+fn run_json(r: &ReplayReport, cores: usize) -> String {
     format!(
-        "    {{\"shards\": {}, \"requests\": {}, \"errors\": {}, \"hits\": {}, \
-         \"hit_rate\": {:.4}, \"elapsed_secs\": {:.3}, \"requests_per_sec\": {:.1}, \
+        "    {{\"backend\": \"{}\", \"cores\": {}, \"shards\": {}, \"requests\": {}, \
+         \"errors\": {}, \"slow_clients\": {}, \"slow_ok\": {}, \"slow_errors\": {}, \
+         \"time_scale\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \"elapsed_secs\": {:.3}, \
+         \"requests_per_sec\": {:.1}, \"ok_per_sec\": {:.1}, \
          \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        r.backend.name(),
+        cores,
         r.shards,
         r.requests,
         r.errors,
+        r.slow_clients,
+        r.slow_ok,
+        r.slow_errors,
+        r.time_scale
+            .map_or("null".to_string(), |k| format!("{k:.1}")),
         r.hits,
         r.hit_rate,
         r.elapsed_secs,
         r.requests_per_sec,
+        r.ok_per_sec,
         r.latency.p50_us,
         r.latency.p90_us,
         r.latency.p99_us,
@@ -135,10 +184,20 @@ fn run_json(r: &ReplayReport) -> String {
 fn main() -> ExitCode {
     let mut args = parse_args();
     if args.smoke {
-        // CI gate: tiny trace, 2 shards, strict assertions.
-        args.scale = args.scale.min(0.01);
+        // CI gate: tiny trace, both backends, a handful of slow clients
+        // (enough to pin threaded workers, small enough to finish fast),
+        // strict assertions.
+        args.scale = args.scale.min(0.002);
         args.shards.get_or_insert_with(|| vec![2]);
+        if args.backends.len() == 1 {
+            args.backends = vec![ServingBackend::Threaded, ServingBackend::Reactor];
+        }
+        if args.slow_clients == [0] {
+            args.slow_clients = vec![args.workers.max(2)];
+        }
     }
+    args.slow_clients.sort_unstable();
+    args.slow_clients.dedup();
     let trace = load_trace(&args);
     assert!(!trace.requests.is_empty(), "trace is empty");
     let capacity = ((trace.total_bytes() as f64 * args.capacity_frac) as u64).max(1 << 16);
@@ -146,72 +205,123 @@ fn main() -> ExitCode {
 
     // Default sweep: the single-lock baseline, minimal sharding, and one
     // shard per core — deduplicated (on a 1-core machine that is {1, 2}).
-    let shard_counts = args.shards.clone().unwrap_or_else(|| {
-        let mut v = vec![1, 2, ncores];
-        v.sort_unstable();
-        v.dedup();
-        v
-    });
+    let mut shard_counts = args.shards.clone().unwrap_or_else(|| vec![1, 2, ncores]);
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
 
     eprintln!(
         "loadgen: trace {} ({} requests, {} uniques, {} bytes), capacity {capacity}, \
-         {} clients, {} workers, shards {shard_counts:?}",
+         {} clients, slow clients {:?}, {} workers, shards {shard_counts:?}, \
+         backends {:?}, pacing {}",
         trace.name,
         trace.len(),
         trace.interner.url_count(),
         trace.total_bytes(),
         args.clients,
+        args.slow_clients,
         args.workers,
+        args.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+        if args.open_loop {
+            format!("open-loop /{}", args.time_scale)
+        } else {
+            "closed-loop".to_string()
+        },
     );
 
     let mut runs: Vec<ReplayReport> = Vec::new();
-    for &shards in &shard_counts {
-        let cfg = ReplayConfig {
-            clients: args.clients,
-            shards,
-            workers: args.workers,
-            queue_depth: 16 * args.workers.max(1),
-            capacity,
-        };
-        let report = replay(&trace, cfg, || Box::new(named::lru())).expect("replay");
-        eprintln!(
-            "  shards {:>3}: {:>8.1} req/s, p50 {} µs, p99 {} µs, max {} µs, \
-             hit rate {:.3}, errors {}",
-            report.shards,
-            report.requests_per_sec,
-            report.latency.p50_us,
-            report.latency.p99_us,
-            report.latency.max_us,
-            report.hit_rate,
-            report.errors,
-        );
-        runs.push(report);
+    for &backend in &args.backends {
+        for &slow_clients in &args.slow_clients {
+            for &shards in &shard_counts {
+                let cfg = ReplayConfig {
+                    clients: args.clients,
+                    shards,
+                    workers: args.workers,
+                    queue_depth: 16 * args.workers.max(1),
+                    capacity,
+                    backend,
+                    slow_clients,
+                    time_scale: args.open_loop.then_some(args.time_scale),
+                };
+                let report = replay(&trace, cfg, || Box::new(named::lru())).expect("replay");
+                eprintln!(
+                    "  {:>8} slow {:>5} shards {:>3}: {:>8.1} req/s ({:>8.1} ok/s), \
+                     p50 {} µs, p99 {} µs, max {} µs, hit rate {:.3}, errors {}, \
+                     slow ok/err {}/{}",
+                    report.backend.name(),
+                    report.slow_clients,
+                    report.shards,
+                    report.requests_per_sec,
+                    report.ok_per_sec,
+                    report.latency.p50_us,
+                    report.latency.p99_us,
+                    report.latency.max_us,
+                    report.hit_rate,
+                    report.errors,
+                    report.slow_ok,
+                    report.slow_errors,
+                );
+                runs.push(report);
+            }
+        }
     }
 
-    let baseline = runs.iter().find(|r| r.shards == 1);
-    let best = runs.iter().max_by_key(|r| r.shards);
-    let speedup = match (baseline, best) {
+    // Shard scaling is judged at the lightest slow-client load in the
+    // sweep, where throughput is lock-bound rather than worker-bound.
+    let min_slow = args.slow_clients.iter().copied().min().unwrap_or(0);
+    let baseline = runs.iter().find(|r| {
+        r.shards == 1 && r.backend == ServingBackend::Threaded && r.slow_clients == min_slow
+    });
+    let best = runs
+        .iter()
+        .filter(|r| r.backend == ServingBackend::Threaded && r.slow_clients == min_slow)
+        .max_by_key(|r| r.shards);
+    let shard_speedup = match (baseline, best) {
         (Some(b), Some(m)) if b.requests_per_sec > 0.0 && m.shards > 1 => {
             Some(m.requests_per_sec / b.requests_per_sec)
         }
         _ => None,
     };
+    // Reactor vs threaded at equal shards/workers: goodput ratio at the
+    // heaviest slow-client load where threaded still delivers *any*
+    // goodput (past that the ratio is infinite — the rows speak for
+    // themselves), at the highest shard count both backends ran.
+    let ab_speedup = args
+        .slow_clients
+        .iter()
+        .copied()
+        .rev()
+        .flat_map(|sc| shard_counts.iter().rev().map(move |&s| (sc, s)))
+        .find_map(|(sc, s)| {
+            let row = |backend| {
+                runs.iter()
+                    .find(|r| r.backend == backend && r.shards == s && r.slow_clients == sc)
+            };
+            let t = row(ServingBackend::Threaded)?;
+            let x = row(ServingBackend::Reactor)?;
+            (t.ok_per_sec > 0.0).then(|| x.ok_per_sec / t.ok_per_sec)
+        });
 
     let json = format!(
         "{{\n  \"trace\": \"{}\",\n  \"requests\": {},\n  \"unique_urls\": {},\n  \
-         \"total_bytes\": {},\n  \"capacity\": {},\n  \"clients\": {},\n  \"workers\": {},\n  \
+         \"total_bytes\": {},\n  \"capacity\": {},\n  \"clients\": {},\n  \
+         \"slow_clients\": {:?},\n  \"workers\": {},\n  \
          \"machine_parallelism\": {},\n  \"runs\": [\n{}\n  ],\n  \
-         \"speedup_max_shards_vs_1\": {}\n}}\n",
+         \"speedup_max_shards_vs_1\": {},\n  \"speedup_reactor_vs_threaded\": {}\n}}\n",
         trace.name,
         trace.len(),
         trace.interner.url_count(),
         trace.total_bytes(),
         capacity,
         args.clients,
+        args.slow_clients,
         args.workers,
         ncores,
-        runs.iter().map(run_json).collect::<Vec<_>>().join(",\n"),
-        speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+        runs.iter()
+            .map(|r| run_json(r, ncores))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        shard_speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+        ab_speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
     );
     binfmt::write_atomic(&args.json, json.as_bytes()).expect("write BENCH_proxy.json");
     eprintln!("loadgen: wrote {}", args.json.display());
@@ -219,15 +329,30 @@ fn main() -> ExitCode {
     if args.smoke {
         let bad = runs
             .iter()
-            .find(|r| r.errors > 0 || r.hits == 0 || r.requests == 0);
+            .find(|r| r.errors > 0 || r.hits == 0 || r.requests == 0 || r.slow_errors > 0);
         if let Some(r) = bad {
             eprintln!(
-                "loadgen --smoke FAILED: shards {} saw {} errors, {} hits over {} requests",
-                r.shards, r.errors, r.hits, r.requests
+                "loadgen --smoke FAILED: {} shards {} saw {} errors ({} slow), {} hits \
+                 over {} requests",
+                r.backend.name(),
+                r.shards,
+                r.errors,
+                r.slow_errors,
+                r.hits,
+                r.requests
             );
             return ExitCode::FAILURE;
         }
-        eprintln!("loadgen --smoke passed: zero client-visible errors, nonzero hits");
+        if let Some(ab) = ab_speedup {
+            // Allow a whisker of measurement noise on tiny traces; the
+            // real margin at any meaningful slow-client count is large.
+            if ab < 0.95 {
+                eprintln!("loadgen --smoke FAILED: reactor goodput {ab:.2}x threaded (< 0.95)");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("loadgen --smoke: reactor goodput {ab:.2}x threaded");
+        }
+        eprintln!("loadgen --smoke passed: zero client-visible errors on every run");
     }
     ExitCode::SUCCESS
 }

@@ -44,6 +44,42 @@ use webcache_core::cache::{DocMeta, Outcome, ShardedCache};
 use webcache_core::policy::RemovalPolicy;
 use webcache_trace::{ClientId, DocType, Interner, ServerId, UrlId};
 
+/// How the proxy front end multiplexes client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServingBackend {
+    /// One worker thread per in-flight connection: workers block on
+    /// client reads and writes, so concurrency is bounded by
+    /// [`ProxyConfig::workers`] + [`ProxyConfig::queue_depth`]. The
+    /// original design; kept as the semantic reference.
+    #[default]
+    Threaded,
+    /// A readiness-driven reactor: one event-loop thread owns every
+    /// client socket in non-blocking mode and drives per-connection
+    /// state machines; worker threads only run cache/origin work. Slow
+    /// or idle clients cost a few kilobytes of buffer, never a thread.
+    Reactor,
+}
+
+impl ServingBackend {
+    /// Parse a backend name (`threaded` / `reactor`), as accepted by
+    /// `--serving-backend` and `WEBCACHE_SERVING_BACKEND`.
+    pub fn parse(s: &str) -> Option<ServingBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "threaded" => Some(ServingBackend::Threaded),
+            "reactor" => Some(ServingBackend::Reactor),
+            _ => None,
+        }
+    }
+
+    /// The backend's canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServingBackend::Threaded => "threaded",
+            ServingBackend::Reactor => "reactor",
+        }
+    }
+}
+
 /// Proxy configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ProxyConfig {
@@ -89,6 +125,11 @@ pub struct ProxyConfig {
     /// Serve an expired cached copy (marked degraded) when revalidation
     /// fails, instead of surfacing the origin error.
     pub serve_stale: bool,
+    /// Which serving front end multiplexes client connections. Defaults
+    /// to [`ServingBackend::Threaded`] unless the
+    /// `WEBCACHE_SERVING_BACKEND` environment variable overrides it (so
+    /// an unmodified test suite can be replayed against the reactor).
+    pub backend: ServingBackend,
 }
 
 impl ProxyConfig {
@@ -114,7 +155,17 @@ impl ProxyConfig {
             breaker_threshold: 5,
             breaker_cooldown: 32,
             serve_stale: true,
+            backend: std::env::var("WEBCACHE_SERVING_BACKEND")
+                .ok()
+                .and_then(|v| ServingBackend::parse(&v))
+                .unwrap_or_default(),
         }
+    }
+
+    /// Set the serving backend explicitly (overrides the environment).
+    pub fn with_backend(mut self, backend: ServingBackend) -> ProxyConfig {
+        self.backend = backend;
+        self
     }
 
     /// Set the shard count (must be a nonzero power of two).
@@ -292,7 +343,7 @@ struct ShardExt {
 /// Shared proxy state. The cache path locks only the owning shard; the
 /// remaining fields are either atomics or their own short-lived locks,
 /// never held across network I/O.
-struct ProxyState {
+pub(crate) struct ProxyState {
     cache: ShardedCache<ShardExt>,
     interner: Mutex<Interner>,
     stats: AtomicProxyStats,
@@ -304,7 +355,25 @@ struct ProxyState {
     breakers: Mutex<HashMap<String, Breaker>>,
     /// Counter feeding deterministic backoff jitter.
     jitter_seq: AtomicU64,
+    /// Units of work that occupied a worker thread: one per connection
+    /// under the threaded backend, one per dispatched cache/origin job
+    /// under the reactor (inline fast-path hits never count). Not part
+    /// of [`ProxyStats`] — it describes the serving engine, not the
+    /// cache — but observable via [`ProxyServer::worker_jobs`].
+    worker_jobs: AtomicU64,
     log: Mutex<Vec<String>>,
+}
+
+impl ProxyState {
+    /// Count a connection refused with `503` (queue full).
+    pub(crate) fn count_rejected(&self) {
+        AtomicProxyStats::add(&self.stats.rejected, 1);
+    }
+
+    /// Count one unit of work occupying a worker thread.
+    pub(crate) fn count_worker_job(&self) {
+        AtomicProxyStats::add(&self.worker_jobs, 1);
+    }
 }
 
 /// A bounded MPMC handoff of accepted connections to the worker pool.
@@ -372,10 +441,18 @@ impl ConnQueue {
 pub struct ProxyServer {
     addr: SocketAddr,
     state: Arc<ProxyState>,
-    queue: Arc<ConnQueue>,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    backend: Backend,
+}
+
+/// The running serving engine behind a [`ProxyServer`].
+enum Backend {
+    Threaded {
+        queue: Arc<ConnQueue>,
+        shutdown: Arc<AtomicBool>,
+        acceptor: Option<std::thread::JoinHandle<()>>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    },
+    Reactor(crate::reactor::Reactor),
 }
 
 impl ProxyServer {
@@ -409,52 +486,22 @@ impl ProxyServer {
             now: AtomicU64::new(0),
             breakers: Mutex::new(HashMap::new()),
             jitter_seq: AtomicU64::new(0),
+            worker_jobs: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
         });
-        let queue = Arc::new(ConnQueue::new(config.queue_depth));
-        let shutdown = Arc::new(AtomicBool::new(false));
-
-        let workers = (0..config.workers)
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let state = Arc::clone(&state);
-                std::thread::spawn(move || {
-                    while let Some(mut stream) = queue.pop() {
-                        serve_connection(&mut stream, origin, config, &state);
-                    }
-                })
-            })
-            .collect();
-
-        let acceptor = {
-            let queue = Arc::clone(&queue);
-            let state = Arc::clone(&state);
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || {
-                for conn in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    if let Err(mut refused) = queue.push(stream) {
-                        // Queue full: refuse cheaply here rather than let
-                        // accepted work grow without bound.
-                        AtomicProxyStats::add(&state.stats.rejected, 1);
-                        let _ = refused.set_write_timeout(Some(config.read_timeout));
-                        let _ = http::write_response(&mut refused, &Response::status_only(503));
-                    }
-                }
-                queue.close();
-            })
+        let backend = match config.backend {
+            ServingBackend::Threaded => start_threaded(listener, origin, config, &state),
+            ServingBackend::Reactor => Backend::Reactor(crate::reactor::Reactor::start(
+                listener,
+                origin,
+                config,
+                Arc::clone(&state),
+            )?),
         };
-
         Ok(ProxyServer {
             addr,
             state,
-            queue,
-            shutdown,
-            acceptor: Some(acceptor),
-            workers,
+            backend,
         })
     }
 
@@ -482,19 +529,100 @@ impl ProxyServer {
     pub fn shard_count(&self) -> usize {
         self.state.cache.shard_count()
     }
+
+    /// Units of work that have occupied a worker thread so far: one per
+    /// connection under the threaded backend, one per dispatched job
+    /// under the reactor. Lets tests assert that idle or slow clients
+    /// never pin a worker.
+    pub fn worker_jobs(&self) -> u64 {
+        self.state.worker_jobs.load(Ordering::Relaxed)
+    }
+
+    /// The serving backend this proxy is running.
+    pub fn backend(&self) -> ServingBackend {
+        match self.backend {
+            Backend::Threaded { .. } => ServingBackend::Threaded,
+            Backend::Reactor(_) => ServingBackend::Reactor,
+        }
+    }
+}
+
+/// Start the original threaded front end: an acceptor feeding a bounded
+/// connection queue drained by blocking workers.
+fn start_threaded(
+    listener: TcpListener,
+    origin: SocketAddr,
+    config: ProxyConfig,
+    state: &Arc<ProxyState>,
+) -> Backend {
+    let queue = Arc::new(ConnQueue::new(config.queue_depth));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let workers = (0..config.workers)
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(state);
+            std::thread::spawn(move || {
+                while let Some(mut stream) = queue.pop() {
+                    AtomicProxyStats::add(&state.worker_jobs, 1);
+                    serve_connection(&mut stream, origin, config, &state);
+                }
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let queue = Arc::clone(&queue);
+        let state = Arc::clone(state);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                if let Err(mut refused) = queue.push(stream) {
+                    // Queue full: refuse cheaply here rather than let
+                    // accepted work grow without bound.
+                    AtomicProxyStats::add(&state.stats.rejected, 1);
+                    let _ = refused.set_write_timeout(Some(config.read_timeout));
+                    let _ = http::write_response(&mut refused, &Response::status_only(503));
+                }
+            }
+            queue.close();
+        })
+    };
+
+    Backend::Threaded {
+        queue,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers,
+    }
 }
 
 impl Drop for ProxyServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor; the no-op connection drains as a fast EOF.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        self.queue.close();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        match &mut self.backend {
+            Backend::Threaded {
+                queue,
+                shutdown,
+                acceptor,
+                workers,
+            } => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor; the no-op connection drains as a
+                // fast EOF.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(h) = acceptor.take() {
+                    let _ = h.join();
+                }
+                queue.close();
+                for h in workers.drain(..) {
+                    let _ = h.join();
+                }
+            }
+            Backend::Reactor(reactor) => reactor.shutdown(),
         }
     }
 }
@@ -663,19 +791,35 @@ fn respond(
         return http::write_response(stream, &Response::status_only(400));
     }
     let resp = proxy_get(origin, config, state, &req.target)?;
-    // Downstream conditional GET (a client cache or a child proxy in a
-    // hierarchy, as in the paper's case 2): if our copy is not newer than
-    // the caller's, a bodyless 304 suffices.
+    http::write_response(stream, &finalize_response(&req, resp))
+}
+
+/// Apply the downstream conditional GET (a client cache or a child proxy
+/// in a hierarchy, as in the paper's case 2): if our copy is not newer
+/// than the caller's, a bodyless 304 suffices. Shared by both serving
+/// backends so the wire protocol cannot drift between them.
+pub(crate) fn finalize_response(req: &Request, resp: Response) -> Response {
     if let (Some(since), Some(lm)) = (req.if_modified_since(), resp.last_modified()) {
         if resp.status == 200 && lm <= since {
             let mut not_modified = Response::status_only(304);
             if resp.is_cache_hit() {
                 not_modified = not_modified.with_cache_status(true);
             }
-            return http::write_response(stream, &not_modified);
+            return not_modified;
         }
     }
-    http::write_response(stream, &resp)
+    resp
+}
+
+/// Admit one request: tick the logical clock, count it, intern the URL.
+/// Exactly one call per client request, on whichever thread first sees
+/// it — the worker under the threaded backend, the event loop under the
+/// reactor — so the clock advances identically under both.
+pub(crate) fn begin_request(state: &Arc<ProxyState>, target: &str) -> (UrlId, u64) {
+    let now = state.now.fetch_add(1, Ordering::SeqCst) + 1;
+    AtomicProxyStats::add(&state.stats.requests, 1);
+    let url = state.interner.lock().url(target);
+    (url, now)
 }
 
 /// The proxy's core GET logic, factored out for direct (in-process) use.
@@ -685,10 +829,56 @@ fn proxy_get(
     state: &Arc<ProxyState>,
     target: &str,
 ) -> Result<Response, HttpError> {
+    let (url, now) = begin_request(state, target);
+    Ok(proxy_get_at(origin, config, state, target, url, now))
+}
+
+/// Reactor fast path: serve a fresh cache hit inline on the event loop,
+/// without a worker round-trip. Declines (`None`) when the shard lock is
+/// contended, the document is absent, or the copy is past its TTL — the
+/// request is then dispatched to a worker with the same `(url, now)`, so
+/// the logical clock still ticks exactly once per request.
+pub(crate) fn try_serve_fresh_hit(
+    config: &ProxyConfig,
+    state: &Arc<ProxyState>,
+    target: &str,
+    url: UrlId,
+    now: u64,
+) -> Option<Response> {
+    let (meta, body) = state.cache.try_with_shard_for(url, |cache, ext| {
+        let meta = *cache.meta(url)?;
+        let fetched = ext.fetched_at.get(&url).copied().unwrap_or(0);
+        let fresh = config
+            .ttl
+            .is_none_or(|ttl| now.saturating_sub(fetched) <= ttl);
+        if !fresh {
+            return None;
+        }
+        let body = ext.bodies.get(&url).cloned().unwrap_or_default();
+        touch_resident_in(cache, ext, url, &meta, &body, now);
+        Some((meta, body))
+    })??;
+    AtomicProxyStats::add(&state.stats.hits, 1);
+    AtomicProxyStats::add(&state.stats.bytes_from_cache, meta.size);
+    state.log.lock().push(format!(
+        "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {} HIT",
+        meta.size
+    ));
+    Some(Response::ok(body, meta.last_modified).with_cache_status(true))
+}
+
+/// The three cases of the paper's section 1, for a request already
+/// admitted by [`begin_request`]. May block on origin I/O and backoff
+/// sleeps — never run this on the reactor's event loop.
+pub(crate) fn proxy_get_at(
+    origin: SocketAddr,
+    config: ProxyConfig,
+    state: &Arc<ProxyState>,
+    target: &str,
+    url: UrlId,
+    now: u64,
+) -> Response {
     // Phase 1: consult the cache under the owning shard's lock only.
-    let now = state.now.fetch_add(1, Ordering::SeqCst) + 1;
-    AtomicProxyStats::add(&state.stats.requests, 1);
-    let url = state.interner.lock().url(target);
     let cached = state.cache.with_shard_for(url, |cache, ext| {
         cache.meta(url).map(|m| {
             (
@@ -707,7 +897,7 @@ fn proxy_get(
         if fresh {
             // Case 1: consistent copy, serve it.
             record_cache_hit(state, url, &meta, &body, target, now);
-            return Ok(Response::ok(body, meta.last_modified).with_cache_status(true));
+            return Response::ok(body, meta.last_modified).with_cache_status(true);
         }
         // Case 2: revalidate with a conditional GET.
         let cond = Request::get(target).with_header(
@@ -721,15 +911,15 @@ fn proxy_get(
                     ext.fetched_at.insert(url, now);
                 });
                 record_cache_hit(state, url, &meta, &body, target, now);
-                Ok(Response::ok(body, meta.last_modified).with_cache_status(true))
+                Response::ok(body, meta.last_modified).with_cache_status(true)
             }
             Ok(origin_resp) if origin_resp.status == 200 => {
                 // Modified: insert the fresh copy.
-                Ok(store_and_serve(state, url, target, origin_resp, now))
+                store_and_serve(state, url, target, origin_resp, now)
             }
             // Origin answered but with neither 304 nor a document (e.g.
             // the document is gone): pass it through, keep our copy.
-            Ok(origin_resp) => Ok(origin_resp),
+            Ok(origin_resp) => origin_resp,
             Err(_e) if config.serve_stale => {
                 // Revalidation failed: serve the expired copy, marked
                 // degraded, rather than surfacing the origin failure
@@ -744,11 +934,11 @@ fn proxy_get(
                     "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {} STALE",
                     meta.size
                 ));
-                Ok(Response::ok(body, meta.last_modified)
+                Response::ok(body, meta.last_modified)
                     .with_cache_status(true)
-                    .with_degraded())
+                    .with_degraded()
             }
-            Err(e) => Ok(error_response(&e)),
+            Err(e) => error_response(&e),
         };
     }
 
@@ -756,12 +946,12 @@ fn proxy_get(
     let origin_resp =
         match fetch_origin_resilient(origin, &Request::get(target), &config, state, host) {
             Ok(resp) => resp,
-            Err(e) => return Ok(error_response(&e)),
+            Err(e) => return error_response(&e),
         };
     if origin_resp.status != 200 {
-        return Ok(origin_resp);
+        return origin_resp;
     }
-    Ok(store_and_serve(state, url, target, origin_resp, now))
+    store_and_serve(state, url, target, origin_resp, now)
 }
 
 /// Re-reference a document we are serving from memory, so the policy
@@ -770,28 +960,42 @@ fn proxy_get(
 /// served, and its body is restored alongside.
 fn touch_resident(state: &Arc<ProxyState>, url: UrlId, meta: &DocMeta, body: &Bytes, now: u64) {
     state.cache.with_shard_for(url, |cache, ext| {
-        let r = webcache_trace::Request {
-            time: now,
-            client: ClientId(0),
-            server: ServerId(0),
-            url,
-            size: meta.size,
-            doc_type: meta.doc_type,
-            last_modified: meta.last_modified,
-        };
-        match cache.request(&r) {
-            Outcome::Hit => {}
-            Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
-                for m in evicted {
-                    ext.bodies.remove(&m.url);
-                    ext.fetched_at.remove(&m.url);
-                }
-                ext.bodies.insert(url, body.clone());
-                ext.fetched_at.entry(url).or_insert(now);
-            }
-            Outcome::MissTooBig => {}
-        }
+        touch_resident_in(cache, ext, url, meta, body, now)
     });
+}
+
+/// [`touch_resident`]'s body, for callers already holding the owning
+/// shard's guard (the reactor's fast path touches under the same
+/// `try_lock` it peeked with, so peek and touch are one atomic step).
+fn touch_resident_in(
+    cache: &mut webcache_core::cache::Cache,
+    ext: &mut ShardExt,
+    url: UrlId,
+    meta: &DocMeta,
+    body: &Bytes,
+    now: u64,
+) {
+    let r = webcache_trace::Request {
+        time: now,
+        client: ClientId(0),
+        server: ServerId(0),
+        url,
+        size: meta.size,
+        doc_type: meta.doc_type,
+        last_modified: meta.last_modified,
+    };
+    match cache.request(&r) {
+        Outcome::Hit => {}
+        Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
+            for m in evicted {
+                ext.bodies.remove(&m.url);
+                ext.fetched_at.remove(&m.url);
+            }
+            ext.bodies.insert(url, body.clone());
+            ext.fetched_at.entry(url).or_insert(now);
+        }
+        Outcome::MissTooBig => {}
+    }
 }
 
 /// A cache hit: update metadata/policy through the simulator-grade cache.
@@ -943,7 +1147,13 @@ mod tests {
             let store = Arc::new(DocStore::new());
             store.put_synthetic("http://o.test/a.html", 1000, 10);
             let origin = OriginServer::start(store).unwrap();
+            // Accept-time shedding is threaded-backend mechanics (an
+            // idle connection occupying a worker); under the reactor an
+            // idle connection occupies nothing by design, and shedding
+            // happens at dispatch instead (see tests/reactor.rs). Pin
+            // the backend so the env override cannot retarget this test.
             let config = ProxyConfig::new(100_000)
+                .with_backend(ServingBackend::Threaded)
                 .with_workers(1, 1)
                 .with_timeouts(Duration::from_secs(1), Duration::from_secs(2));
             let proxy =

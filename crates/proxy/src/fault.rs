@@ -51,15 +51,12 @@ impl FaultKind {
     ];
 }
 
-/// SplitMix64 — the same deterministic mixer the workload generator uses
-/// for per-day RNG streams; here it maps `(seed, connection)` to a draw.
-/// Also used by the proxy's retry path for deterministic backoff jitter.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// SplitMix64 — the shared deterministic mixer (`webcache_core::util`,
+/// the same one the workload generator seeds its per-day RNG streams
+/// with and `ShardedCache` keys shards with); here it maps
+/// `(seed, connection)` to a draw. Also used by the proxy's retry path
+/// for deterministic backoff jitter.
+pub(crate) use webcache_core::util::splitmix64;
 
 /// A seeded, deterministic plan of which connections fail and how.
 ///

@@ -277,6 +277,147 @@ pub fn write_response<S: Write>(stream: &mut S, resp: &Response) -> Result<(), H
     Ok(())
 }
 
+/// Incremental, resumable HTTP/1.0 request parser for non-blocking
+/// readers: the reactor feeds it whatever bytes each readiness event
+/// yields (possibly one at a time), and it either produces the parsed
+/// [`Request`], asks for more bytes, or rejects the stream.
+///
+/// Parsing semantics are exactly [`read_request`]'s — same accepted
+/// grammar, same [`MAX_LINE`] / [`MAX_HEADERS`] bounds — but the bounds
+/// are enforced *mid-stream*: an attacker dribbling an endless header
+/// line is rejected as soon as the line passes the limit, long before a
+/// terminator arrives, so a hostile peer can neither buffer unbounded
+/// memory nor park a connection in a huge parse state.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    /// Bytes of the current, not-yet-terminated line.
+    line: Vec<u8>,
+    state: ParseState,
+    method: String,
+    target: String,
+    headers: BTreeMap<String, String>,
+    /// Total bytes fed so far (diagnostics; lets callers distinguish an
+    /// idle connection from one mid-request).
+    fed: usize,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum ParseState {
+    #[default]
+    RequestLine,
+    Headers,
+    Done,
+}
+
+impl RequestParser {
+    /// A parser at the start of a request.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Total bytes fed so far (zero ⇒ the peer has sent nothing yet).
+    pub fn bytes_fed(&self) -> usize {
+        self.fed
+    }
+
+    /// Consume `bytes`. Returns `Ok(Some(request))` once the final
+    /// header terminator has been seen (further bytes are ignored, as
+    /// the blocking path ignores pipelined bytes), `Ok(None)` when more
+    /// input is needed, or the same [`HttpError::Malformed`] the
+    /// blocking reader would produce.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        self.fed += bytes.len();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            if self.state == ParseState::Done {
+                return Ok(Some(self.take()));
+            }
+            match rest.iter().position(|&b| b == b'\n') {
+                None => {
+                    self.line.extend_from_slice(rest);
+                    // Same bound as read_line_bounded: a line of MAX_LINE
+                    // bytes none of which is the terminator is malformed.
+                    if self.line.len() >= MAX_LINE {
+                        return Err(HttpError::Malformed(format!(
+                            "line exceeds the {MAX_LINE}-byte limit"
+                        )));
+                    }
+                    rest = &[];
+                }
+                Some(nl) => {
+                    self.line.extend_from_slice(&rest[..=nl]);
+                    rest = &rest[nl + 1..];
+                    if self.line.len() > MAX_LINE {
+                        return Err(HttpError::Malformed(format!(
+                            "line exceeds the {MAX_LINE}-byte limit"
+                        )));
+                    }
+                    let line = std::mem::take(&mut self.line);
+                    self.consume_line(&line)?;
+                }
+            }
+        }
+        if self.state == ParseState::Done {
+            return Ok(Some(self.take()));
+        }
+        Ok(None)
+    }
+
+    /// Process one complete line (terminator included).
+    fn consume_line(&mut self, raw: &[u8]) -> Result<(), HttpError> {
+        // The blocking reader goes through String (read_line); mirror its
+        // lossy-free behaviour: HTTP/1.0 here is ASCII, and invalid UTF-8
+        // cannot match any accepted grammar, so reject it as malformed.
+        let line = std::str::from_utf8(raw)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 bytes in request head".into()))?;
+        match self.state {
+            ParseState::RequestLine => {
+                let mut parts = line.split_ascii_whitespace();
+                self.method = parts
+                    .next()
+                    .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+                    .to_string();
+                self.target = parts
+                    .next()
+                    .ok_or_else(|| HttpError::Malformed("missing target".into()))?
+                    .to_string();
+                let version = parts.next().unwrap_or("HTTP/1.0");
+                if !version.starts_with("HTTP/1.") {
+                    return Err(HttpError::Malformed(format!("bad version {version:?}")));
+                }
+                self.state = ParseState::Headers;
+            }
+            ParseState::Headers => {
+                let line = line.trim_end();
+                if line.is_empty() {
+                    self.state = ParseState::Done;
+                    return Ok(());
+                }
+                if self.headers.len() >= MAX_HEADERS {
+                    return Err(HttpError::Malformed(format!(
+                        "more than {MAX_HEADERS} headers"
+                    )));
+                }
+                let (name, value) = line
+                    .split_once(':')
+                    .ok_or_else(|| HttpError::Malformed(format!("bad header {line:?}")))?;
+                self.headers
+                    .insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+            ParseState::Done => {}
+        }
+        Ok(())
+    }
+
+    fn take(&mut self) -> Request {
+        Request {
+            method: std::mem::take(&mut self.method),
+            target: std::mem::take(&mut self.target),
+            headers: std::mem::take(&mut self.headers),
+        }
+    }
+}
+
 fn read_headers<R: BufRead>(reader: &mut R) -> Result<BTreeMap<String, String>, HttpError> {
     let mut headers = BTreeMap::new();
     loop {
@@ -433,6 +574,118 @@ mod tests {
         assert_eq!(exact.len() - 2, MAX_LINE);
         let got = read_request(&mut exact.as_slice()).unwrap();
         assert_eq!(got.target.len(), target_len);
+    }
+
+    /// Encode a request and feed it to the parser in chunks of `n`.
+    fn feed_chunked(wire: &[u8], n: usize) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new();
+        for chunk in wire.chunks(n) {
+            if let Some(req) = p.feed(chunk)? {
+                return Ok(Some(req));
+            }
+        }
+        Ok(None)
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_reader_byte_by_byte() {
+        let req = Request::get("http://server0.x.edu/doc1.html")
+            .with_header("If-Modified-Since", "12345")
+            .with_header("X-Forwarded-For", " 10.0.0.1 ");
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let blocking = read_request(&mut wire.as_slice()).unwrap();
+        for chunk in [1, 2, 3, 7, wire.len()] {
+            let inc = feed_chunked(&wire, chunk)
+                .unwrap()
+                .unwrap_or_else(|| panic!("parser incomplete at chunk size {chunk}"));
+            assert_eq!(inc.method, blocking.method);
+            assert_eq!(inc.target, blocking.target);
+            assert_eq!(inc.headers, blocking.headers, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_is_resumable_across_header_fragments() {
+        // Header name and value split across readiness events, including
+        // mid-CRLF.
+        let mut p = RequestParser::new();
+        for frag in [
+            &b"GET http://o.test/a HT"[..],
+            b"TP/1.0\r",
+            b"\n",
+            b"if-modi",
+            b"fied-since",
+            b": 99",
+            b"\r",
+            b"\n\r",
+        ] {
+            assert!(p.feed(frag).unwrap().is_none(), "complete too early");
+        }
+        let req = p.feed(b"\n").unwrap().expect("complete");
+        assert_eq!(req.target, "http://o.test/a");
+        assert_eq!(req.if_modified_since(), Some(99));
+        assert_eq!(p.bytes_fed(), 55);
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_lines_mid_stream() {
+        // The line never terminates; rejection must land as soon as the
+        // limit is passed, not wait for a terminator that never comes.
+        let mut p = RequestParser::new();
+        let mut total = 0usize;
+        let r = loop {
+            match p.feed(&[b'a'; 64]) {
+                Ok(None) => {
+                    total += 64;
+                    assert!(total < MAX_LINE + 64, "parser buffered past the bound");
+                }
+                Ok(Some(_)) => panic!("nonsense parsed as a request"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(r, HttpError::Malformed(_)));
+        // Oversized *header* line mid-request, one byte at a time.
+        let mut p = RequestParser::new();
+        assert!(p
+            .feed(b"GET http://o.test/a HTTP/1.0\r\nx: ")
+            .unwrap()
+            .is_none());
+        let mut rejected = false;
+        for i in 0..2 * MAX_LINE {
+            match p.feed(b"v") {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("oversized header accepted"),
+                Err(HttpError::Malformed(_)) => {
+                    assert!(i >= MAX_LINE - 64 && i <= MAX_LINE, "bound off: {i}");
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected, "oversized header line never rejected");
+    }
+
+    #[test]
+    fn incremental_parser_enforces_header_count_and_boundary_line() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET http://o.test/a HTTP/1.0\r\n").unwrap();
+        for i in 0..MAX_HEADERS {
+            assert!(p.feed(format!("h{i}: v\r\n").as_bytes()).unwrap().is_none());
+        }
+        assert!(matches!(
+            p.feed(b"one-too-many: v\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // A request line exactly at the limit (incl. newline) parses, as
+        // in the blocking reader.
+        let target_len = MAX_LINE - "GET  HTTP/1.0\r\n".len();
+        let exact = format!("GET {} HTTP/1.0\r\n\r\n", "b".repeat(target_len));
+        let req = feed_chunked(exact.as_bytes(), 1)
+            .unwrap()
+            .expect("exact-limit line parses");
+        assert_eq!(req.target.len(), target_len);
     }
 
     #[test]

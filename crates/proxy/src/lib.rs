@@ -5,9 +5,9 @@
 //! in the network itself through so-called proxy servers").
 //!
 //! * [`http`] — the minimal HTTP/1.0 message layer (GET, conditional GET,
-//!   `Content-Length` framing) over `std::net`. A threaded blocking
-//!   design: per the Rust networking guidance, an async runtime buys
-//!   nothing for a small number of short-lived loopback connections.
+//!   `Content-Length` framing) over `std::net`, with both a blocking
+//!   reader and an incremental [`http::RequestParser`] that consumes
+//!   bytes as they arrive.
 //! * [`origin`] — an origin Web server over a mutable document store,
 //!   answering conditional GETs with `304 Not Modified`.
 //! * [`cache_proxy`] — the proxy: serves fresh copies from cache,
@@ -15,7 +15,12 @@
 //!   makes room using any [`webcache_core::policy::RemovalPolicy`].
 //!   Degrades gracefully when the origin misbehaves: connect/read
 //!   timeouts, bounded retries with backoff, a per-origin circuit
-//!   breaker, and serve-stale-on-error.
+//!   breaker, and serve-stale-on-error. Two serving cores share that
+//!   logic (selected by [`ServingBackend`]): the default threaded
+//!   backend (bounded accept queue drained by a fixed worker pool) and
+//!   a readiness-driven reactor (epoll event loop owning every client
+//!   socket non-blocking; workers only ever see complete requests, so
+//!   slow clients pin buffers, not threads).
 //! * [`fault`] — a deterministic fault-injection shim
 //!   ([`fault::FaultyOrigin`]) that sits between proxy and origin and
 //!   injects refused connections, delays, stalls, truncations, and `5xx`
@@ -29,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod cache_proxy;
+mod conn;
 pub mod fault;
 pub mod http;
 pub mod origin;
+mod reactor;
 
-pub use cache_proxy::{ProxyConfig, ProxyServer, ProxyStats};
+pub use cache_proxy::{ProxyConfig, ProxyServer, ProxyStats, ServingBackend};
 pub use fault::{FaultKind, FaultPlan, FaultyOrigin};
 pub use origin::{DocStore, OriginServer};

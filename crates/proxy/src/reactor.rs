@@ -1,0 +1,843 @@
+//! Readiness-driven serving core: one event-loop thread owns every
+//! client socket, worker threads only run cache/origin work.
+//!
+//! The threaded backend spends a worker thread per in-flight
+//! connection, so its concurrency ceiling is `workers + queue_depth`
+//! regardless of what those connections are doing — a thousand clients
+//! dribbling bytes pin the whole pool while the CPU idles. The reactor
+//! inverts that: client I/O (accepting, incremental request parsing,
+//! response draining, stall timeouts) happens on a single thread
+//! multiplexed by `epoll`, and a connection only costs a worker for the
+//! duration of actual cache/origin work. In-flight connections are
+//! bounded by file descriptors, not threads.
+//!
+//! ## Anatomy
+//!
+//! * **epoll wrapper** — a minimal hand-rolled binding
+//!   ([`Epoll`], [`EventFd`]) over raw syscalls, following the
+//!   vendored-deps convention of small direct `extern "C"` blocks
+//!   (see `vendor/memmap2`) instead of a new dependency. Note
+//!   `epoll_event` is packed on x86-64.
+//! * **slab** — connections live in a generation-tagged slab; the epoll
+//!   token packs `(generation, index)` so events for a recycled slot
+//!   are detected and dropped.
+//! * **deadline wheel** — client stall timeouts are hashed-wheel ticks,
+//!   not per-socket `SO_RCVTIMEO`. A connection stalling mid-request
+//!   past [`crate::ProxyConfig::read_timeout`] gets `504`, exactly as
+//!   under the threaded backend; progress re-arms the deadline just as
+//!   each successful blocking read did.
+//! * **dispatch** — a parsed request is first offered the inline fast
+//!   path ([`cache_proxy::try_serve_fresh_hit`]): a fresh cache hit is
+//!   served on the event loop under a single `try_lock`ed shard guard,
+//!   with no worker round trip. Contended, missing, or expired entries
+//!   go to the bounded worker job queue; a full queue sheds with `503`
+//!   (the reactor's analogue of the threaded backend's full connection
+//!   queue, counted in the same [`crate::ProxyStats::rejected`]).
+//!   Workers run the unchanged blocking [`cache_proxy::proxy_get_at`] —
+//!   retries, backoff, breakers, serve-stale and all stats semantics
+//!   are shared code, not a reimplementation — and post completions
+//!   back through an `eventfd`.
+
+use crate::cache_proxy::{
+    begin_request, finalize_response, proxy_get_at, try_serve_fresh_hit, ProxyConfig, ProxyState,
+};
+use crate::conn::{Conn, ConnState, Event};
+use crate::http::{Request, Response};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::time::{Duration, Instant};
+use webcache_trace::UrlId;
+
+// ---------------------------------------------------------------------
+// Raw epoll / eventfd bindings (Linux). Small and direct, per the
+// repo's vendored-FFI convention — no libc crate.
+
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// A readiness queue: the thinnest safe wrapper over the three epoll
+/// syscalls.
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let ptr = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        if unsafe { epoll_ctl(self.fd, op, fd, ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn del(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Wait for readiness; `timeout` of `None` blocks indefinitely.
+    /// Returns `(events, token)` pairs copied out of the (possibly
+    /// unaligned) kernel buffer.
+    fn wait(&self, out: &mut Vec<(u32, u64)>, timeout: Option<Duration>) -> io::Result<()> {
+        const MAX_EVENTS: usize = 256;
+        let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let timeout_ms = match timeout {
+            // Round up so a 0.4 ms residue does not busy-spin.
+            Some(t) => t.as_millis().max(1).min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        let n = unsafe { epoll_wait(self.fd, buf.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        out.clear();
+        for ev in &buf[..n as usize] {
+            // Copy fields out of the packed struct; taking references
+            // into it would be UB.
+            let (events, data) = (ev.events, ev.data);
+            out.push((events, data));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// An `eventfd`-based waker: worker threads nudge the event loop out of
+/// `epoll_wait` when a completion is ready (and shutdown uses the same
+/// doorbell).
+struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    fn new() -> io::Result<EventFd> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    fn notify(&self) {
+        let one: u64 = 1;
+        unsafe {
+            write(self.fd, one.to_ne_bytes().as_ptr(), 8);
+        }
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            read(self.fd, buf.as_mut_ptr(), 8);
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slab of connections with generation-tagged tokens.
+
+const LISTENER_TOKEN: u64 = u64::MAX;
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+fn pack_token(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+fn unpack_token(token: u64) -> (usize, u32) {
+    ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
+}
+
+/// Connection storage with O(1) insert/remove and recycled indices.
+/// Each slot carries a generation, bumped on removal, so a token minted
+/// for a previous occupant never resolves to the new one.
+#[derive(Default)]
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn insert(&mut self, stream: TcpStream) -> u64 {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.gens.push(0);
+                self.slots.len() - 1
+            }
+        };
+        let gen = self.gens[idx];
+        self.slots[idx] = Some(Conn::new(stream, gen));
+        self.live += 1;
+        pack_token(idx, gen)
+    }
+
+    fn get(&mut self, token: u64) -> Option<&mut Conn> {
+        let (idx, gen) = unpack_token(token);
+        match self.slots.get_mut(idx) {
+            Some(Some(conn)) if conn.gen == gen => Some(conn),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let (idx, gen) = unpack_token(token);
+        if self.gens.get(idx).copied() != Some(gen) {
+            return None;
+        }
+        let conn = self.slots.get_mut(idx)?.take()?;
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        Some(conn)
+    }
+
+    fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|c| pack_token(i, c.gen)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadline wheel.
+
+/// A hashed timing wheel over connection tokens. Entries are lazy: a
+/// connection re-arms by moving its `deadline` field, not by touching
+/// the wheel; when its (single) entry fires early, the wheel reinserts
+/// it at the new deadline. Stale entries for closed connections fall
+/// out on the generation check.
+struct Wheel {
+    slots: Vec<Vec<u64>>,
+    granularity: Duration,
+    /// Last tick whose slot has been drained.
+    cursor: u64,
+    /// Live entries across all slots (including stale ones not yet
+    /// drained) — zero means `epoll_wait` may block indefinitely.
+    entries: usize,
+    start: Instant,
+}
+
+impl Wheel {
+    fn new(read_timeout: Duration) -> Wheel {
+        // Aim for ~1/16 of the timeout per tick so expiry error is a
+        // small fraction of the timeout itself, bounded to sane wall
+        // times; size the wheel to hold two timeout horizons.
+        let granularity = (read_timeout / 16)
+            .max(Duration::from_millis(1))
+            .min(Duration::from_millis(250));
+        let slots = (2 * read_timeout.as_millis() / granularity.as_millis().max(1) + 2) as usize;
+        Wheel {
+            slots: vec![Vec::new(); slots.max(4)],
+            granularity,
+            cursor: 0,
+            entries: 0,
+            start: Instant::now(),
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.start).as_nanos() / self.granularity.as_nanos().max(1))
+            as u64
+    }
+
+    /// Insert an entry that should fire at (or just after) `deadline`.
+    fn schedule(&mut self, token: u64, deadline: Instant) {
+        // Clamp far deadlines into the wheel's horizon; the lazy
+        // reinsertion on fire walks them forward.
+        let tick = self
+            .tick_of(deadline)
+            .min(self.cursor + self.slots.len() as u64 - 1)
+            .max(self.cursor + 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(token);
+        self.entries += 1;
+    }
+
+    /// Drain every slot the clock has passed, returning candidate
+    /// tokens. The caller checks each candidate's actual deadline and
+    /// either expires it or hands it back via [`Wheel::schedule`].
+    fn advance(&mut self, now: Instant) -> Vec<u64> {
+        let target = self.tick_of(now);
+        let mut fired = Vec::new();
+        while self.cursor < target {
+            self.cursor += 1;
+            let slot = (self.cursor % self.slots.len() as u64) as usize;
+            fired.append(&mut self.slots[slot]);
+        }
+        self.entries -= fired.len();
+        fired
+    }
+
+    /// How long `epoll_wait` may sleep before the next slot is due;
+    /// `None` when the wheel is empty.
+    fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.entries == 0 {
+            return None;
+        }
+        let next_due = self.start
+            + Duration::from_nanos((self.cursor + 1) * self.granularity.as_nanos() as u64);
+        Some(
+            next_due
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1)),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker handoff.
+
+/// A request admitted by the event loop, bound for a worker. Carries
+/// the pre-assigned `(url, now)` so the logical clock has already
+/// ticked exactly once, whether or not the fast path declined.
+struct Job {
+    token: u64,
+    req: Request,
+    url: UrlId,
+    now: u64,
+}
+
+/// A worker's finished response, headed back to the event loop.
+struct Completion {
+    token: u64,
+    resp: Response,
+}
+
+/// Bounded MPMC job queue (the reactor-side analogue of the threaded
+/// backend's connection queue; a full queue sheds the request with
+/// `503`).
+struct JobQueue {
+    inner: StdMutex<JobQueueInner>,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct JobQueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> JobQueue {
+        JobQueue {
+            inner: StdMutex::new(JobQueueInner {
+                jobs: VecDeque::with_capacity(depth),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.closed || q.jobs.len() >= self.depth {
+            return Err(job);
+        }
+        q.jobs.push_back(job);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(j) = q.jobs.pop_front() {
+                return Some(j);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reactor proper.
+
+/// Handles to a running reactor backend: the event-loop thread plus its
+/// worker pool.
+pub(crate) struct Reactor {
+    shutdown: Arc<AtomicBool>,
+    waker: Arc<EventFd>,
+    jobs: Arc<JobQueue>,
+    event_loop: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Take ownership of a bound listener and start serving on it.
+    pub fn start(
+        listener: TcpListener,
+        origin: SocketAddr,
+        config: ProxyConfig,
+        state: Arc<ProxyState>,
+    ) -> io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let waker = Arc::new(EventFd::new()?);
+        epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+        epoll.add(waker.fd, EPOLLIN, WAKER_TOKEN)?;
+
+        let jobs = Arc::new(JobQueue::new(config.queue_depth));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let jobs = Arc::clone(&jobs);
+                let completions = Arc::clone(&completions);
+                let waker = Arc::clone(&waker);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    while let Some(job) = jobs.pop() {
+                        state.count_worker_job();
+                        let resp =
+                            proxy_get_at(origin, config, &state, &job.req.target, job.url, job.now);
+                        let resp = finalize_response(&job.req, resp);
+                        completions.lock().push(Completion {
+                            token: job.token,
+                            resp,
+                        });
+                        waker.notify();
+                    }
+                })
+            })
+            .collect();
+
+        let event_loop = {
+            let shutdown = Arc::clone(&shutdown);
+            let waker = Arc::clone(&waker);
+            let jobs = Arc::clone(&jobs);
+            std::thread::spawn(move || {
+                let mut lp = EventLoop {
+                    epoll,
+                    listener,
+                    waker,
+                    completions,
+                    jobs,
+                    shutdown,
+                    slab: Slab::default(),
+                    wheel: Wheel::new(config.read_timeout),
+                    config,
+                    state,
+                };
+                lp.run();
+            })
+        };
+
+        Ok(Reactor {
+            shutdown,
+            waker,
+            jobs,
+            event_loop: Some(event_loop),
+            workers,
+        })
+    }
+
+    /// Stop the event loop and the workers, joining all threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.notify();
+        if let Some(h) = self.event_loop.take() {
+            let _ = h.join();
+        }
+        self.jobs.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct EventLoop {
+    epoll: Epoll,
+    listener: TcpListener,
+    waker: Arc<EventFd>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    jobs: Arc<JobQueue>,
+    shutdown: Arc<AtomicBool>,
+    slab: Slab,
+    wheel: Wheel,
+    config: ProxyConfig,
+    state: Arc<ProxyState>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<(u32, u64)> = Vec::new();
+        loop {
+            let now = Instant::now();
+            let timeout = self.wheel.next_timeout(now);
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let drained = std::mem::take(&mut events);
+            for &(evs, token) in &drained {
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => {
+                        self.waker.drain();
+                        self.drain_completions();
+                    }
+                    _ => self.conn_ready(token, evs),
+                }
+            }
+            events = drained;
+            self.expire_deadlines();
+        }
+        // Shutdown: close every connection; workers are joined by
+        // `Reactor::shutdown` after the job queue closes.
+        for token in self.slab.tokens() {
+            self.close_conn(token);
+        }
+    }
+
+    /// Accept until the backlog is dry. Accepting is cheap (a few
+    /// hundred bytes of state), so the reactor admits every connection
+    /// and applies backpressure at dispatch instead.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.slab.insert(stream);
+                    let conn = self.slab.get(token).expect("freshly inserted");
+                    let fd = conn.stream.as_raw_fd();
+                    if self.epoll.add(fd, EPOLLIN, token).is_err() {
+                        self.slab.remove(token);
+                        continue;
+                    }
+                    self.arm_deadline(token);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Set/refresh the current connection's I/O deadline, inserting a
+    /// wheel entry only if it does not already carry one.
+    fn arm_deadline(&mut self, token: u64) {
+        let deadline = Instant::now() + self.config.read_timeout;
+        let Some(conn) = self.slab.get(token) else {
+            return;
+        };
+        conn.deadline = Some(deadline);
+        if !conn.in_wheel {
+            conn.in_wheel = true;
+            self.wheel.schedule(token, deadline);
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, events: u32) {
+        let Some(conn) = self.slab.get(token) else {
+            return; // stale event for a recycled slot
+        };
+        if events & (EPOLLERR | EPOLLHUP) != 0 && events & (EPOLLIN | EPOLLOUT) == 0 {
+            self.close_conn(token);
+            return;
+        }
+        if events & EPOLLIN != 0 {
+            if let ConnState::Reading(_) = conn.state {
+                match conn.on_readable() {
+                    Event::Continue => self.arm_deadline(token),
+                    Event::Request(req) => self.handle_request(token, req),
+                    Event::Reject(status) => self.respond(token, Response::status_only(status)),
+                    Event::Done => self.close_conn(token),
+                }
+                return;
+            }
+        }
+        if events & EPOLLOUT != 0 {
+            let Some(conn) = self.slab.get(token) else {
+                return;
+            };
+            match conn.on_writable() {
+                Event::Continue => self.arm_deadline(token),
+                Event::Done => self.close_conn(token),
+                _ => {}
+            }
+        }
+    }
+
+    /// A parsed request: validate, try the inline fast path, otherwise
+    /// dispatch to the worker pool (shedding with `503` when full).
+    fn handle_request(&mut self, token: u64, req: Request) {
+        if req.method != "GET" {
+            self.respond(token, Response::status_only(501));
+            return;
+        }
+        if !req.target.starts_with("http://") {
+            self.respond(token, Response::status_only(400));
+            return;
+        }
+        let (url, now) = begin_request(&self.state, &req.target);
+        if let Some(resp) = try_serve_fresh_hit(&self.config, &self.state, &req.target, url, now) {
+            self.respond(token, finalize_response(&req, resp));
+            return;
+        }
+        if let Some(conn) = self.slab.get(token) {
+            conn.state = ConnState::Dispatched;
+            conn.deadline = None;
+            // Stop watching readability: with level-triggered epoll,
+            // leftover pipelined bytes would otherwise spin the loop.
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.epoll.modify(fd, 0, token);
+        }
+        if let Err(_job) = self.jobs.try_push(Job {
+            token,
+            req,
+            url,
+            now,
+        }) {
+            self.state.count_rejected();
+            self.respond(token, Response::status_only(503));
+        }
+    }
+
+    /// Queue a response on the connection and start draining it,
+    /// falling back to `EPOLLOUT` if the socket buffer fills.
+    fn respond(&mut self, token: u64, resp: Response) {
+        let Some(conn) = self.slab.get(token) else {
+            return;
+        };
+        conn.start_response(&resp);
+        match conn.on_writable() {
+            Event::Done => self.close_conn(token),
+            _ => {
+                let Some(conn) = self.slab.get(token) else {
+                    return;
+                };
+                let fd = conn.stream.as_raw_fd();
+                if self.epoll.modify(fd, EPOLLOUT, token).is_err() {
+                    self.close_conn(token);
+                    return;
+                }
+                self.arm_deadline(token);
+            }
+        }
+    }
+
+    /// Hand every finished worker response to its connection.
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = std::mem::take(&mut *self.completions.lock());
+        for c in done {
+            // The connection may have timed out or died while the
+            // worker ran; the response is then simply dropped, exactly
+            // as the threaded backend's failed write would be.
+            self.respond(c.token, c.resp);
+        }
+    }
+
+    /// Expire connections whose I/O deadline passed: a client stalled
+    /// mid-request gets `504` (the threaded backend's read-timeout
+    /// answer); a client stalled mid-response is dropped.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        for token in self.wheel.advance(now) {
+            let Some(conn) = self.slab.get(token) else {
+                continue; // connection already closed: entry is stale
+            };
+            conn.in_wheel = false;
+            match conn.deadline {
+                None => {} // dispatched: origin timeouts bound this phase
+                Some(d) if d <= now => match conn.state {
+                    ConnState::Reading(_) => {
+                        // One best-effort shot at the 504 — the client
+                        // is stalled, not necessarily reading.
+                        conn.start_response(&Response::status_only(504));
+                        let _ = conn.on_writable();
+                        self.close_conn(token);
+                    }
+                    _ => self.close_conn(token),
+                },
+                Some(d) => {
+                    // Re-armed since this entry was scheduled: walk the
+                    // single entry forward to the new deadline.
+                    conn.in_wheel = true;
+                    self.wheel.schedule(token, d);
+                }
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.slab.remove(token) {
+            self.epoll.del(conn.stream.as_raw_fd());
+            // Dropping the stream closes the socket.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip_and_tag_generations() {
+        for (idx, gen) in [(0usize, 0u32), (7, 3), (0xFFFF_FFFE, u32::MAX)] {
+            assert_eq!(unpack_token(pack_token(idx, gen)), (idx, gen));
+        }
+        assert_ne!(pack_token(1, 0), pack_token(1, 1));
+        // The sentinel tokens sit above any token a real slab can mint
+        // (slot indices are bounded far below 2^32 by the fd limit).
+        assert!(pack_token(0xFFFF_FFFD, u32::MAX) < WAKER_TOKEN);
+    }
+
+    #[test]
+    fn slab_detects_stale_tokens_after_recycling() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut slab = Slab::default();
+        let _c1 = TcpStream::connect(addr).unwrap();
+        let (s1, _) = listener.accept().unwrap();
+        let t1 = slab.insert(s1);
+        assert!(slab.get(t1).is_some());
+        slab.remove(t1).unwrap();
+        // Recycle the slot with a new connection.
+        let _c2 = TcpStream::connect(addr).unwrap();
+        let (s2, _) = listener.accept().unwrap();
+        let t2 = slab.insert(s2);
+        assert_eq!(unpack_token(t1).0, unpack_token(t2).0, "slot recycled");
+        assert!(slab.get(t1).is_none(), "old token must not resolve");
+        assert!(slab.get(t2).is_some());
+        assert!(slab.remove(t1).is_none());
+    }
+
+    #[test]
+    fn wheel_fires_after_the_deadline_not_before() {
+        let mut wheel = Wheel::new(Duration::from_millis(160));
+        let t0 = wheel.start;
+        wheel.schedule(42, t0 + Duration::from_millis(100));
+        assert_eq!(
+            wheel.next_timeout(t0).map(|d| d.as_millis() > 0),
+            Some(true)
+        );
+        // Nothing fires while the deadline is ahead.
+        assert!(wheel.advance(t0 + Duration::from_millis(50)).is_empty());
+        // Past the deadline the entry surfaces (possibly one tick late,
+        // never early beyond wheel granularity).
+        let fired = wheel.advance(t0 + Duration::from_millis(200));
+        assert_eq!(fired, vec![42]);
+        assert_eq!(wheel.entries, 0);
+        assert!(wheel
+            .next_timeout(t0 + Duration::from_millis(200))
+            .is_none());
+    }
+
+    #[test]
+    fn wheel_clamps_far_deadlines_into_its_horizon() {
+        let mut wheel = Wheel::new(Duration::from_millis(20));
+        let t0 = wheel.start;
+        // A deadline far past the horizon still lands in a slot…
+        wheel.schedule(7, t0 + Duration::from_secs(3600));
+        assert_eq!(wheel.entries, 1);
+        // …and surfaces when the clock passes that slot, where the
+        // caller's deadline check walks it forward.
+        let fired = wheel.advance(t0 + Duration::from_millis(200));
+        assert_eq!(fired, vec![7]);
+    }
+}

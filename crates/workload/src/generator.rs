@@ -66,15 +66,17 @@ struct Event {
     error: Option<u16>,
 }
 
-/// Mix `(seed, day)` into an independent per-day stream seed (splitmix64
-/// finaliser). Adjacent days or seeds must not produce correlated streams.
+/// Mix `(seed, day)` into an independent per-day stream seed (the shared
+/// SplitMix64 finaliser in `webcache_core::util`, with this call site's
+/// historical constants — bit-identical to the original inline copy).
+/// Adjacent days or seeds must not produce correlated streams.
 fn day_stream_seed(seed: u64, day: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(day.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    webcache_core::util::stream_seed(
+        seed,
+        day,
+        webcache_core::util::SPLITMIX64_GAMMA,
+        0xBF58_476D_1CE4_E5B9,
+    )
 }
 
 /// Split the request budget across days proportionally to the profile's

@@ -18,15 +18,17 @@ use webcache_trace::DocType;
 /// count) so the universe is bit-identical however many threads build it.
 const BUILD_CHUNK: usize = 8192;
 
-/// Mix `(seed, first_rank)` into a per-chunk stream seed (splitmix64
-/// finaliser, distinct constants from the generator's per-day streams).
+/// Mix `(seed, first_rank)` into a per-chunk stream seed (the shared
+/// SplitMix64 finaliser in `webcache_core::util`; distinct constants
+/// from the generator's per-day streams, bit-identical to the original
+/// inline copy).
 fn chunk_stream_seed(seed: u64, first_rank: usize) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x1656_67B1_9E37_79F9)
-        .wrapping_add((first_rank as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    webcache_core::util::stream_seed(
+        seed,
+        first_rank as u64,
+        0x1656_67B1_9E37_79F9,
+        0x94D0_49BB_1331_11EB,
+    )
 }
 
 /// One document in the universe.

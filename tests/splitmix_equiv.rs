@@ -1,0 +1,149 @@
+//! Cross-crate SplitMix64 equivalence: the three historical copies of
+//! the mixer (workload RNG stream seeding, `ShardedCache` shard keying,
+//! `FaultPlan` per-connection decisions) now all resolve to
+//! `webcache_core::util`. These tests pin (a) the published SplitMix64
+//! vectors, (b) each call site's exact pre-dedup formula, and (c) the
+//! downstream artifacts those call sites produce — so a future edit to
+//! any one consumer cannot silently decorrelate the others.
+
+use webcache_core::cache::ShardedCache;
+use webcache_core::policy::named;
+use webcache_core::util::{splitmix64, splitmix64_finalise, stream_seed, SPLITMIX64_GAMMA};
+use webcache_proxy::{FaultKind, FaultPlan};
+use webcache_trace::UrlId;
+
+/// The exact byte-level reference implementation all call sites used
+/// before deduplication.
+fn reference_splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[test]
+fn util_matches_the_reference_implementation() {
+    for x in (0u64..4096)
+        .chain([u64::MAX, u64::MAX - 1, 1 << 63, 0xDEAD_BEEF_CAFE_F00D])
+        .chain((0..64).map(|s| 1u64 << s))
+    {
+        assert_eq!(splitmix64(x), reference_splitmix64(x), "diverged at {x:#x}");
+    }
+    // Published vectors (seed 0, outputs 1 and 2).
+    assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    assert_eq!(splitmix64(SPLITMIX64_GAMMA), 0x6E78_9E6A_A1B9_65F4);
+}
+
+/// The workload generator's per-day stream seeds: `stream_seed` with the
+/// generator's constants must reproduce the original inline mixer.
+#[test]
+fn workload_day_stream_seed_formula_is_preserved() {
+    let original = |seed: u64, day: u64| -> u64 {
+        let z = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(day.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        splitmix64_finalise(z)
+    };
+    for seed in [0u64, 1, 2, 1996, u64::MAX] {
+        for day in 0..32 {
+            assert_eq!(
+                stream_seed(seed, day, SPLITMIX64_GAMMA, 0xBF58_476D_1CE4_E5B9),
+                original(seed, day),
+                "day stream seed diverged at ({seed}, {day})"
+            );
+        }
+    }
+}
+
+/// The universe builder's per-chunk stream seeds, same check with its
+/// distinct constant family.
+#[test]
+fn workload_chunk_stream_seed_formula_is_preserved() {
+    let original = |seed: u64, rank: u64| -> u64 {
+        let z = seed
+            .wrapping_add(0x1656_67B1_9E37_79F9)
+            .wrapping_add(rank.wrapping_mul(0x94D0_49BB_1331_11EB));
+        splitmix64_finalise(z)
+    };
+    for seed in [1u64, 7, 1996] {
+        for rank in (0..5).map(|i| i * 8192) {
+            assert_eq!(
+                stream_seed(seed, rank, 0x1656_67B1_9E37_79F9, 0x94D0_49BB_1331_11EB),
+                original(seed, rank),
+                "chunk stream seed diverged at ({seed}, {rank})"
+            );
+        }
+    }
+}
+
+/// Workload generation itself is unchanged by the dedup: a frozen
+/// checksum of one generated trace's request stream.
+#[test]
+fn generated_workload_stream_is_bit_identical() {
+    let profile = webcache_workload::profiles::c().scaled(0.002);
+    let trace = webcache_workload::generator::generate(&profile, 1996);
+    assert!(!trace.requests.is_empty());
+    // FNV-1a over the fields that the RNG streams determine.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0193);
+        }
+    };
+    for r in &trace.requests {
+        fold(r.time);
+        fold(r.url.0 as u64);
+        fold(r.size);
+    }
+    // Frozen before the dedup landed; a change here means generation
+    // semantics moved, which this PR must not do.
+    assert_eq!(h, TRACE_C_SEED1996_SCALE0002_FNV, "workload stream changed");
+}
+
+/// Golden value for `generated_workload_stream_is_bit_identical`,
+/// captured from the pre-dedup generator (the `*_formula_is_preserved`
+/// tests above prove the dedup changed no seed, so the stream is the
+/// same before and after).
+const TRACE_C_SEED1996_SCALE0002_FNV: u64 = 0x908A_DAF8_DB7D_A7FC;
+
+#[test]
+fn shard_keying_is_splitmix64_masked() {
+    let cache: ShardedCache = ShardedCache::new(1 << 20, 8, || Box::new(named::lru()));
+    for id in 0..10_000u32 {
+        assert_eq!(
+            cache.shard_index(UrlId(id)),
+            (splitmix64(id as u64) & 7) as usize,
+            "shard key diverged at id {id}"
+        );
+    }
+}
+
+/// FaultPlan decisions are pure `splitmix64(seed ^ conn * C)` draws; the
+/// dedup must not move a single connection's fate.
+#[test]
+fn fault_plan_decisions_match_the_direct_formula() {
+    let plan = FaultPlan::new(42)
+        .refuse_connect(0.05)
+        .server_error(0.05)
+        .truncate(0.05);
+    let rates = [0.05, 0.0, 0.0, 0.05, 0.05]; // ALL order: refuse, delay, stall, truncate, 5xx
+    for conn in 0..10_000u64 {
+        let draw = (splitmix64(42u64 ^ conn.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11) as f64
+            / (1u64 << 53) as f64;
+        let mut expected = None;
+        let mut cumulative = 0.0;
+        for (i, &p) in rates.iter().enumerate() {
+            cumulative += p;
+            if draw < cumulative {
+                expected = Some(FaultKind::ALL[i]);
+                break;
+            }
+        }
+        assert_eq!(
+            plan.decide(conn),
+            expected,
+            "fault decision diverged at {conn}"
+        );
+    }
+}
