@@ -225,6 +225,13 @@ impl<X> ShardedCache<X> {
     /// access to that shard's cache and extension state. The shard's
     /// [`ShardStats`] mirror is refreshed before the lock is released, so
     /// any mutation `f` performs is visible to lock-free readers.
+    ///
+    /// Hit-path protocol (DESIGN.md D14): callers serving a cached
+    /// document do the meta peek, the body handout (a refcount `Bytes`
+    /// clone — never a copy), *and* the policy touch inside one closure
+    /// invocation, so a hit enters the shard lock exactly once and the
+    /// body leaves the shard without re-entering it.
+    #[inline]
     pub fn with_shard_for<R>(&self, url: UrlId, f: impl FnOnce(&mut Cache, &mut X) -> R) -> R {
         self.with_shard(self.shard_index(url), f)
     }
@@ -245,7 +252,10 @@ impl<X> ShardedCache<X> {
     /// another thread — the caller (e.g. the reactor's event loop, which
     /// must never block) falls back to its slow path. Identical
     /// semantics to the blocking form when it does run: the stats mirror
-    /// is refreshed before the lock is released.
+    /// is refreshed before the lock is released. The single-visit
+    /// hit-path protocol of [`ShardedCache::with_shard_for`] applies
+    /// here too.
+    #[inline]
     pub fn try_with_shard_for<R>(
         &self,
         url: UrlId,

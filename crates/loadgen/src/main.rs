@@ -157,8 +157,10 @@ fn run_json(r: &ReplayReport, cores: usize) -> String {
         "    {{\"backend\": \"{}\", \"cores\": {}, \"shards\": {}, \"requests\": {}, \
          \"errors\": {}, \"slow_clients\": {}, \"slow_ok\": {}, \"slow_errors\": {}, \
          \"time_scale\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \"elapsed_secs\": {:.3}, \
-         \"requests_per_sec\": {:.1}, \"ok_per_sec\": {:.1}, \
-         \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+         \"requests_per_sec\": {:.1}, \"ok_per_sec\": {:.1}, \"bytes_per_sec\": {:.0}, \
+         \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+         \"hit_p50_us\": {}, \"hit_p99_us\": {}, \"hit_max_us\": {}, \
+         \"miss_p50_us\": {}, \"miss_p99_us\": {}, \"miss_max_us\": {}}}",
         r.backend.name(),
         cores,
         r.shards,
@@ -174,10 +176,17 @@ fn run_json(r: &ReplayReport, cores: usize) -> String {
         r.elapsed_secs,
         r.requests_per_sec,
         r.ok_per_sec,
+        r.bytes_per_sec,
         r.latency.p50_us,
         r.latency.p90_us,
         r.latency.p99_us,
         r.latency.max_us,
+        r.hit_latency.p50_us,
+        r.hit_latency.p99_us,
+        r.hit_latency.max_us,
+        r.miss_latency.p50_us,
+        r.miss_latency.p99_us,
+        r.miss_latency.max_us,
     )
 }
 
@@ -244,16 +253,18 @@ fn main() -> ExitCode {
                 };
                 let report = replay(&trace, cfg, || Box::new(named::lru())).expect("replay");
                 eprintln!(
-                    "  {:>8} slow {:>5} shards {:>3}: {:>8.1} req/s ({:>8.1} ok/s), \
-                     p50 {} µs, p99 {} µs, max {} µs, hit rate {:.3}, errors {}, \
-                     slow ok/err {}/{}",
+                    "  {:>8} slow {:>5} shards {:>3}: {:>8.1} req/s ({:>8.1} ok/s, \
+                     {:>9.0} B/s), p50 {} µs, p99 {} µs (hit p99 {} µs), max {} µs, \
+                     hit rate {:.3}, errors {}, slow ok/err {}/{}",
                     report.backend.name(),
                     report.slow_clients,
                     report.shards,
                     report.requests_per_sec,
                     report.ok_per_sec,
+                    report.bytes_per_sec,
                     report.latency.p50_us,
                     report.latency.p99_us,
+                    report.hit_latency.p99_us,
                     report.latency.max_us,
                     report.hit_rate,
                     report.errors,
@@ -351,6 +362,33 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("loadgen --smoke: reactor goodput {ab:.2}x threaded");
+        }
+        // Hit-path gate: at the lightest slow-client load and the
+        // highest shard count (the configuration dominated by cache
+        // hits, not by slow-client absorption), the reactor's zero-copy
+        // inline hit path must at least match threaded goodput. Same
+        // 0.95 noise whisker as above.
+        let max_shards = shard_counts.iter().copied().max().unwrap_or(1);
+        let hit_row = |backend| {
+            runs.iter().find(|r| {
+                r.backend == backend && r.shards == max_shards && r.slow_clients == min_slow
+            })
+        };
+        if let (Some(t), Some(x)) = (
+            hit_row(ServingBackend::Threaded),
+            hit_row(ServingBackend::Reactor),
+        ) {
+            if t.ok_per_sec > 0.0 {
+                let ratio = x.ok_per_sec / t.ok_per_sec;
+                if ratio < 0.95 {
+                    eprintln!(
+                        "loadgen --smoke FAILED: reactor hit-path goodput {ratio:.2}x \
+                         threaded (< 0.95) at slow {min_slow}, shards {max_shards}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("loadgen --smoke: reactor hit-path goodput {ratio:.2}x threaded");
+            }
         }
         eprintln!("loadgen --smoke passed: zero client-visible errors on every run");
     }

@@ -9,28 +9,40 @@
 //!    └── fresh cache hit (inline fast path) ────────┘
 //! ```
 //!
-//! The connection owns only buffers; it never blocks and never touches
-//! the cache or the origin. All I/O methods translate readiness into an
-//! [`Event`] the reactor interprets — the reactor alone talks to epoll,
-//! the deadline wheel, and the worker pool.
+//! The connection owns only buffers — a pooled [`RequestParser`], a
+//! pooled response-head `Vec`, and (while writing) a refcounted `Bytes`
+//! body straight out of the cache shard. The response is never
+//! assembled into one contiguous buffer: [`Conn::on_writable`] flushes
+//! head and body as two segments with vectored I/O, so a cache hit
+//! moves document bytes from shard to socket with zero copies. The
+//! connection never blocks and never touches the cache or the origin;
+//! all I/O methods translate readiness into an [`Event`] the reactor
+//! interprets — the reactor alone talks to epoll, the deadline wheel,
+//! and the worker pool.
 
 use crate::http::{self, Request, RequestParser, Response};
-use std::io::{ErrorKind, Read, Write};
+use bytes::Bytes;
+use std::io::{self, ErrorKind, Read};
 use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::time::Instant;
 
 /// Where a connection is in its single request/response exchange.
 #[derive(Debug)]
 pub(crate) enum ConnState {
-    /// Accumulating request bytes through the incremental parser.
-    Reading(RequestParser),
+    /// Accumulating request bytes through the incremental parser (which
+    /// lives on [`Conn`] itself so it can be recycled at close).
+    Reading,
     /// Parsed request handed to a worker; waiting for its response.
     /// Client readiness is ignored meanwhile (any pipelined bytes sit
     /// in the kernel buffer, exactly as the threaded backend ignores
     /// them).
     Dispatched,
-    /// Draining the serialised response to the socket.
-    Writing { buf: Vec<u8>, pos: usize },
+    /// Draining the two-segment response (`Conn::head`, then `body`) to
+    /// the socket. `pos` counts flushed bytes across *both* segments —
+    /// a single cursor makes partial-write resumption trivial to reason
+    /// about (see [`write_segments`]).
+    Writing { body: Bytes, pos: usize },
 }
 
 /// What a readiness notification amounted to.
@@ -39,8 +51,10 @@ pub(crate) enum Event {
     /// Not done yet — keep the connection armed and wait for more
     /// readiness.
     Continue,
-    /// A complete request was parsed.
-    Request(Request),
+    /// A complete request head was parsed; it is readable in place via
+    /// the connection's parser (no `Request` is built — the hit path
+    /// never needs one).
+    Request,
     /// Protocol error from the client: answer with this status, then
     /// close.
     Reject(u16),
@@ -54,6 +68,12 @@ pub(crate) enum Event {
 pub(crate) struct Conn {
     pub stream: TcpStream,
     pub state: ConnState,
+    /// Incremental request parser, checked out of the buffer pool at
+    /// accept and returned at close.
+    pub parser: RequestParser,
+    /// Serialised response status line + headers, likewise pooled. Empty
+    /// until one of the `start_*` methods encodes into it.
+    pub head: Vec<u8>,
     /// Generation tag distinguishing this occupancy of a slab slot from
     /// earlier ones, so late epoll events or deadline-wheel entries for
     /// a recycled slot are recognised as stale.
@@ -68,10 +88,12 @@ pub(crate) struct Conn {
 }
 
 impl Conn {
-    pub fn new(stream: TcpStream, gen: u32) -> Conn {
+    pub fn new(stream: TcpStream, gen: u32, parser: RequestParser, head: Vec<u8>) -> Conn {
         Conn {
             stream,
-            state: ConnState::Reading(RequestParser::new()),
+            state: ConnState::Reading,
+            parser,
+            head,
             gen,
             deadline: None,
             in_wheel: false,
@@ -80,9 +102,9 @@ impl Conn {
 
     /// Pull whatever bytes are ready and feed the parser.
     pub fn on_readable(&mut self) -> Event {
-        let ConnState::Reading(parser) = &mut self.state else {
+        if !matches!(self.state, ConnState::Reading) {
             return Event::Continue;
-        };
+        }
         let mut buf = [0u8; 4096];
         loop {
             match self.stream.read(&mut buf) {
@@ -91,9 +113,9 @@ impl Conn {
                 // 400 (usually into a closed socket; the write simply
                 // fails).
                 Ok(0) => return Event::Reject(400),
-                Ok(n) => match parser.feed(&buf[..n]) {
-                    Ok(Some(req)) => return Event::Request(req),
-                    Ok(None) => continue,
+                Ok(n) => match self.parser.feed_complete(&buf[..n]) {
+                    Ok(true) => return Event::Request,
+                    Ok(false) => continue,
                     Err(_) => return Event::Reject(400),
                 },
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return Event::Continue,
@@ -103,31 +125,112 @@ impl Conn {
         }
     }
 
+    /// Materialise the parsed request head as an owned [`Request`] (the
+    /// miss path needs one to hand to a worker thread).
+    pub fn take_request(&mut self) -> Request {
+        self.parser.take_request()
+    }
+
     /// Queue a response and switch to the writing phase. The caller
     /// should follow up with [`Conn::on_writable`] immediately — the
     /// socket buffer usually has room, saving an epoll round trip.
+    ///
+    /// The body is a refcount clone of `resp.body`, never copied; the
+    /// head is encoded into the pooled `self.head` buffer.
     pub fn start_response(&mut self, resp: &Response) {
-        let mut buf = http::encode_response_head(resp);
-        buf.extend_from_slice(&resp.body);
-        self.state = ConnState::Writing { buf, pos: 0 };
+        http::encode_response_head_into(&mut self.head, resp);
+        self.state = ConnState::Writing {
+            body: resp.body.clone(),
+            pos: 0,
+        };
     }
 
-    /// Push buffered response bytes while the socket accepts them.
+    /// Fast-path variant of [`Conn::start_response`] for a fresh cache
+    /// hit: encodes the fixed-form hit head (200, content-length,
+    /// last-modified, `x-cache: HIT`) straight into the pooled head
+    /// buffer — no `Response`, no allocation.
+    pub fn start_hit(&mut self, body: Bytes, last_modified: Option<u64>) {
+        http::encode_hit_head_into(&mut self.head, body.len() as u64, last_modified);
+        self.state = ConnState::Writing { body, pos: 0 };
+    }
+
+    /// Fast-path variant for a conditional GET answered from cache with
+    /// a bodyless `304` (see `finalize_response`): fixed head, no body,
+    /// no allocation.
+    pub fn start_not_modified_hit(&mut self) {
+        http::encode_not_modified_hit_head_into(&mut self.head);
+        self.state = ConnState::Writing {
+            body: Bytes::new(),
+            pos: 0,
+        };
+    }
+
+    /// Push buffered response bytes while the socket accepts them, head
+    /// and body as one vectored write per syscall.
     pub fn on_writable(&mut self) -> Event {
-        let ConnState::Writing { buf, pos } = &mut self.state else {
+        let ConnState::Writing { body, pos } = &mut self.state else {
             return Event::Continue;
         };
-        loop {
-            if *pos >= buf.len() {
-                return Event::Done;
-            }
-            match self.stream.write(&buf[*pos..]) {
-                Ok(0) => return Event::Done,
-                Ok(n) => *pos += n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock => return Event::Continue,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return Event::Done,
-            }
+        write_segments(&mut self.stream, &self.head, body, pos)
+    }
+
+    /// Dismantle the connection, handing its pooled buffers back to the
+    /// caller (the event loop returns them to the pool). The stream —
+    /// and with it the socket — is dropped here.
+    pub fn recycle(self) -> (RequestParser, Vec<u8>) {
+        (self.parser, self.head)
+    }
+}
+
+/// A sink that accepts two byte segments per call — `writev` with an
+/// iovec of (up to) two. Abstracted so the resumption logic in
+/// [`write_segments`] is testable against a scripted mock that returns
+/// short counts and `EAGAIN` at chosen points.
+pub(crate) trait WriteTwo {
+    fn write_two(&mut self, a: &[u8], b: &[u8]) -> io::Result<usize>;
+}
+
+impl WriteTwo for TcpStream {
+    fn write_two(&mut self, a: &[u8], b: &[u8]) -> io::Result<usize> {
+        crate::reactor::write_two(self.as_raw_fd(), a, b)
+    }
+}
+
+/// Flush `head` then `body` through `w`, resuming at `*pos` (a single
+/// cursor over the concatenation of both segments, though they are never
+/// actually concatenated). Invariants:
+///
+/// - `*pos` only grows, by exactly the kernel-reported write count, so a
+///   short `writev` inside the head, at the head/body boundary, or
+///   mid-body resumes at precisely the next unsent byte;
+/// - segments already fully flushed are sliced down to empty and skipped
+///   at the iovec level — the kernel never sees a stale byte;
+/// - `EAGAIN` keeps the state machine in `Writing` ([`Event::Continue`]:
+///   wait for the next writability event), `EINTR` retries immediately,
+///   anything else (including a peer that stopped reading: `Ok(0)`)
+///   abandons the connection with [`Event::Done`].
+pub(crate) fn write_segments<W: WriteTwo>(
+    w: &mut W,
+    head: &[u8],
+    body: &[u8],
+    pos: &mut usize,
+) -> Event {
+    loop {
+        let total = head.len() + body.len();
+        if *pos >= total {
+            return Event::Done;
+        }
+        let (a, b): (&[u8], &[u8]) = if *pos < head.len() {
+            (&head[*pos..], body)
+        } else {
+            (&body[*pos - head.len()..], &[])
+        };
+        match w.write_two(a, b) {
+            Ok(0) => return Event::Done,
+            Ok(n) => *pos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Event::Continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Event::Done,
         }
     }
 }
@@ -135,6 +238,7 @@ impl Conn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     #[test]
     fn states_report_via_events_not_panics() {
@@ -145,10 +249,137 @@ mod tests {
         let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
         let (server, _) = listener.accept().unwrap();
         server.set_nonblocking(true).unwrap();
-        let mut conn = Conn::new(server, 0);
+        let mut conn = Conn::new(server, 0, RequestParser::new(), Vec::new());
         conn.start_response(&Response::status_only(204));
         assert!(matches!(conn.on_readable(), Event::Continue));
         assert!(matches!(conn.on_writable(), Event::Done));
         drop(client);
+    }
+
+    /// A `WriteTwo` whose per-call byte budgets are scripted, recording
+    /// everything "sent" so tests can assert byte-identical output under
+    /// adversarial short counts and `EAGAIN`.
+    struct ScriptedWriter {
+        /// Per-call allowances; `None` injects `EAGAIN`.
+        script: Vec<Option<usize>>,
+        next: usize,
+        sent: Vec<u8>,
+    }
+
+    impl ScriptedWriter {
+        fn new(script: Vec<Option<usize>>) -> ScriptedWriter {
+            ScriptedWriter {
+                script,
+                next: 0,
+                sent: Vec::new(),
+            }
+        }
+    }
+
+    impl WriteTwo for ScriptedWriter {
+        fn write_two(&mut self, a: &[u8], b: &[u8]) -> io::Result<usize> {
+            let budget = match self.script.get(self.next) {
+                Some(&entry) => {
+                    self.next += 1;
+                    match entry {
+                        Some(n) => n,
+                        None => return Err(io::Error::from(ErrorKind::WouldBlock)),
+                    }
+                }
+                // Script exhausted: accept everything (a drained socket
+                // buffer with a fast peer).
+                None => a.len() + b.len(),
+            };
+            // Like writev: take from the first segment, spill into the
+            // second, never exceed what was offered.
+            let from_a = budget.min(a.len());
+            self.sent.extend_from_slice(&a[..from_a]);
+            let from_b = (budget - from_a).min(b.len());
+            self.sent.extend_from_slice(&b[..from_b]);
+            Ok(from_a + from_b)
+        }
+    }
+
+    fn drive(head: &[u8], body: &[u8], script: Vec<Option<usize>>) -> (ScriptedWriter, usize) {
+        let mut w = ScriptedWriter::new(script);
+        let mut pos = 0;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            match write_segments(&mut w, head, body, &mut pos) {
+                Event::Done => break,
+                Event::Continue => continue, // simulate the next EPOLLOUT
+                other => panic!("unexpected event {other:?}"),
+            }
+            // The script is finite, so this always terminates.
+        }
+        assert_eq!(pos, head.len() + body.len());
+        (w, rounds)
+    }
+
+    #[test]
+    fn short_write_inside_head_resumes_byte_exact() {
+        let head = b"HTTP/1.0 200 OK\r\ncontent-length: 6\r\n\r\n";
+        let body = b"abcdef";
+        // 5 bytes lands mid-head; EAGAIN; then the rest.
+        let (w, rounds) = drive(head, body, vec![Some(5), None]);
+        assert_eq!(w.sent, [&head[..], &body[..]].concat());
+        assert!(rounds >= 2, "EAGAIN must surface as Continue");
+    }
+
+    #[test]
+    fn short_write_at_head_body_boundary_resumes_into_body() {
+        let head = b"HTTP/1.0 200 OK\r\ncontent-length: 6\r\n\r\n";
+        let body = b"abcdef";
+        // Exactly the head, then stall, then the body — the resume path
+        // must slice the head down to empty and start inside the body.
+        let (w, _) = drive(head, body, vec![Some(head.len()), None, Some(3), None]);
+        assert_eq!(w.sent, [&head[..], &body[..]].concat());
+    }
+
+    #[test]
+    fn short_write_mid_body_after_eagain_resumes() {
+        let head = b"HTTP/1.0 200 OK\r\ncontent-length: 10\r\n\r\n";
+        let body = b"0123456789";
+        // Head + 2 body bytes in one vectored call, EAGAIN, dribble.
+        let (w, _) = drive(
+            head,
+            body,
+            vec![Some(head.len() + 2), None, Some(1), Some(1), None, Some(2)],
+        );
+        assert_eq!(w.sent, [&head[..], &body[..]].concat());
+    }
+
+    #[test]
+    fn zero_length_body_and_empty_segments_terminate() {
+        let head = b"HTTP/1.0 304 Not Modified\r\ncontent-length: 0\r\n\r\n";
+        let (w, _) = drive(head, b"", vec![Some(7), None]);
+        assert_eq!(w.sent, head.to_vec());
+        // Peer closed: Ok(0) must be Done, not a spin.
+        let mut w = ScriptedWriter::new(vec![Some(0)]);
+        let mut pos = 0;
+        assert!(matches!(
+            write_segments(&mut w, head, b"xyz", &mut pos),
+            Event::Done
+        ));
+    }
+
+    #[test]
+    fn vectored_writer_output_is_byte_identical_to_blocking_writer() {
+        // The authoritative comparison: the same Response serialised by
+        // the threaded backend's blocking writer and drained through the
+        // two-segment writer under hostile fragmentation must put the
+        // same bytes on the wire.
+        let body = http::synthetic_body("http://o.test/a", 3000);
+        let resp = Response::ok(body, Some(42)).with_cache_status(true);
+
+        let mut blocking = Vec::new();
+        http::write_response(&mut blocking, &resp).unwrap();
+
+        let mut head = Vec::new();
+        http::encode_response_head_into(&mut head, &resp);
+        let script = (0..).map(|i| if i % 3 == 0 { None } else { Some(7) });
+        let (w, _) = drive(&head, &resp.body, script.take(40).collect());
+        assert_eq!(w.sent, blocking);
     }
 }

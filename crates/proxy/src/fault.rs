@@ -310,9 +310,17 @@ fn serve_faulty(
             let resp = forward(upstream, &req)?;
             // Half of the whole encoded response, then go silent while
             // holding the socket open: the client's read must time out.
-            let mut wire = http::encode_response_head(&resp);
-            wire.extend_from_slice(&resp.body);
-            stream.write_all(&wire[..wire.len() / 2])?;
+            // Byte-identical to concatenating head+body and halving, but
+            // written segment-wise so the full wire image is never
+            // assembled in a throwaway buffer.
+            let head = http::encode_response_head(&resp);
+            let half = (head.len() + resp.body.len()) / 2;
+            if half <= head.len() {
+                stream.write_all(&head[..half])?;
+            } else {
+                stream.write_all(&head)?;
+                stream.write_all(&resp.body[..half - head.len()])?;
+            }
             stream.flush()?;
             std::thread::sleep(plan.stall_for);
             Ok(())

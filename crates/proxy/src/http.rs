@@ -257,16 +257,82 @@ pub fn read_response<S: Read>(stream: &mut S) -> Result<Response, HttpError> {
     })
 }
 
+/// Append the decimal digits of `n` to `buf` without going through
+/// `format!`/`String` — the head encoders below run on the reactor's
+/// allocation-free hit path.
+fn push_u64(buf: &mut Vec<u8>, n: u64) {
+    // u64::MAX has 20 digits.
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut n = n;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&digits[i..]);
+}
+
+/// Serialise a response's status line and headers into `buf` (cleared
+/// first), byte-identical to [`encode_response_head`] but reusing the
+/// buffer's capacity and formatting integers manually — no `format!`, no
+/// `String`, no allocation once `buf` has grown to the head size.
+pub fn encode_response_head_into(buf: &mut Vec<u8>, resp: &Response) {
+    buf.clear();
+    buf.extend_from_slice(b"HTTP/1.0 ");
+    push_u64(buf, resp.status as u64);
+    buf.push(b' ');
+    buf.extend_from_slice(reason(resp.status).as_bytes());
+    buf.extend_from_slice(b"\r\n");
+    for (k, v) in &resp.headers {
+        buf.extend_from_slice(k.as_bytes());
+        buf.extend_from_slice(b": ");
+        buf.extend_from_slice(v.as_bytes());
+        buf.extend_from_slice(b"\r\n");
+    }
+    buf.extend_from_slice(b"\r\n");
+}
+
+/// Encode the head of a cache-hit `200` directly from its parts,
+/// byte-identical to `encode_response_head(&Response::ok(body, lm)
+/// .with_cache_status(true))` without building the `Response` (no
+/// `BTreeMap`, no `String`s) — the reactor's fast path calls this with a
+/// pooled buffer, so a warmed hit formats its head with zero allocations.
+/// Header order matches the `BTreeMap` serialisation: `content-length`,
+/// `last-modified`, `x-cache`.
+pub fn encode_hit_head_into(buf: &mut Vec<u8>, body_len: u64, last_modified: Option<u64>) {
+    buf.clear();
+    buf.extend_from_slice(b"HTTP/1.0 200 OK\r\ncontent-length: ");
+    push_u64(buf, body_len);
+    buf.extend_from_slice(b"\r\n");
+    if let Some(lm) = last_modified {
+        buf.extend_from_slice(b"last-modified: ");
+        push_u64(buf, lm);
+        buf.extend_from_slice(b"\r\n");
+    }
+    buf.extend_from_slice(b"x-cache: HIT\r\n\r\n");
+}
+
+/// Encode the head of a bodyless `304` hit (the downstream conditional
+/// GET answer), byte-identical to `encode_response_head(
+/// &Response::status_only(304).with_cache_status(true))`.
+pub fn encode_not_modified_hit_head_into(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(
+        b"HTTP/1.0 304 Not Modified\r\ncontent-length: 0\r\nx-cache: HIT\r\n\r\n",
+    );
+}
+
 /// Serialise a response's status line and headers (everything before the
 /// body). Split out so a fault injector can send a truthful head and then
 /// deliver fewer body bytes than it promised.
 pub fn encode_response_head(resp: &Response) -> Vec<u8> {
-    let mut out = format!("HTTP/1.0 {} {}\r\n", resp.status, reason(resp.status));
-    for (k, v) in &resp.headers {
-        out.push_str(&format!("{k}: {v}\r\n"));
-    }
-    out.push_str("\r\n");
-    out.into_bytes()
+    let mut out = Vec::new();
+    encode_response_head_into(&mut out, resp);
+    out
 }
 
 /// Write a response to a stream.
@@ -326,11 +392,25 @@ impl RequestParser {
     /// input is needed, or the same [`HttpError::Malformed`] the
     /// blocking reader would produce.
     pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        if self.feed_complete(bytes)? {
+            return Ok(Some(self.take_request()));
+        }
+        Ok(None)
+    }
+
+    /// [`RequestParser::feed`] without materialising the [`Request`]:
+    /// returns `Ok(true)` once the request head is complete, leaving the
+    /// parsed method/target/headers readable in place through
+    /// [`RequestParser::method`] and friends. The reactor's hit path
+    /// uses this so a warmed connection parses a request with zero
+    /// allocations (the line buffer and method/target strings reuse
+    /// their pooled capacity).
+    pub fn feed_complete(&mut self, bytes: &[u8]) -> Result<bool, HttpError> {
         self.fed += bytes.len();
         let mut rest = bytes;
         while !rest.is_empty() {
             if self.state == ParseState::Done {
-                return Ok(Some(self.take()));
+                return Ok(true);
             }
             match rest.iter().position(|&b| b == b'\n') {
                 None => {
@@ -352,15 +432,18 @@ impl RequestParser {
                             "line exceeds the {MAX_LINE}-byte limit"
                         )));
                     }
+                    // Lend the line buffer out for the borrow, then put
+                    // it back cleared so its capacity is reused for the
+                    // next line instead of reallocated.
                     let line = std::mem::take(&mut self.line);
-                    self.consume_line(&line)?;
+                    let consumed = self.consume_line(&line);
+                    self.line = line;
+                    self.line.clear();
+                    consumed?;
                 }
             }
         }
-        if self.state == ParseState::Done {
-            return Ok(Some(self.take()));
-        }
-        Ok(None)
+        Ok(self.state == ParseState::Done)
     }
 
     /// Process one complete line (terminator included).
@@ -373,14 +456,18 @@ impl RequestParser {
         match self.state {
             ParseState::RequestLine => {
                 let mut parts = line.split_ascii_whitespace();
-                self.method = parts
+                let method = parts
                     .next()
-                    .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
-                    .to_string();
-                self.target = parts
+                    .ok_or_else(|| HttpError::Malformed("empty request line".into()))?;
+                let target = parts
                     .next()
-                    .ok_or_else(|| HttpError::Malformed("missing target".into()))?
-                    .to_string();
+                    .ok_or_else(|| HttpError::Malformed("missing target".into()))?;
+                // push_str into the retained Strings: a pooled parser
+                // re-parses typical request lines with no allocation.
+                self.method.clear();
+                self.method.push_str(method);
+                self.target.clear();
+                self.target.push_str(target);
                 let version = parts.next().unwrap_or("HTTP/1.0");
                 if !version.starts_with("HTTP/1.") {
                     return Err(HttpError::Malformed(format!("bad version {version:?}")));
@@ -409,12 +496,49 @@ impl RequestParser {
         Ok(())
     }
 
-    fn take(&mut self) -> Request {
+    /// Request method parsed so far (valid once [`feed_complete`]
+    /// returned `true`).
+    ///
+    /// [`feed_complete`]: RequestParser::feed_complete
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Request target parsed so far (valid once [`feed_complete`]
+    /// returned `true`).
+    ///
+    /// [`feed_complete`]: RequestParser::feed_complete
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// `If-Modified-Since` header as a logical timestamp, mirroring
+    /// [`Request::if_modified_since`] without building a [`Request`].
+    pub fn if_modified_since(&self) -> Option<u64> {
+        self.headers.get("if-modified-since")?.parse().ok()
+    }
+
+    /// Materialise the parsed head as an owned [`Request`]. The parser's
+    /// method/target keep their capacity (cloned out, not moved) so a
+    /// pooled parser stays warm; headers are moved because the miss path
+    /// needs to own them anyway.
+    pub fn take_request(&mut self) -> Request {
         Request {
-            method: std::mem::take(&mut self.method),
-            target: std::mem::take(&mut self.target),
+            method: self.method.clone(),
+            target: self.target.clone(),
             headers: std::mem::take(&mut self.headers),
         }
+    }
+
+    /// Return the parser to its initial state, retaining every buffer's
+    /// capacity. Called when a parser is returned to the pool.
+    pub fn reset(&mut self) {
+        self.line.clear();
+        self.state = ParseState::RequestLine;
+        self.method.clear();
+        self.target.clear();
+        self.headers.clear();
+        self.fed = 0;
     }
 }
 
@@ -686,6 +810,52 @@ mod tests {
             .unwrap()
             .expect("exact-limit line parses");
         assert_eq!(req.target.len(), target_len);
+    }
+
+    #[test]
+    fn hit_head_encoders_match_response_based_encoding_byte_for_byte() {
+        // The direct hit-head encoders must stay bit-identical to the
+        // generic Response path: the reactor fast path uses them while
+        // the threaded backend (and every test oracle) uses the latter.
+        for (len, lm) in [
+            (0u64, None),
+            (1, Some(0)),
+            (12345, Some(98765)),
+            (u64::MAX, Some(u64::MAX)),
+        ] {
+            let body = vec![0u8; if len > 1 << 20 { 0 } else { len as usize }];
+            let mut resp = Response::ok(Bytes::from(body), lm).with_cache_status(true);
+            // For the huge length, fake the header rather than allocate.
+            if len > 1 << 20 {
+                resp.headers
+                    .insert("content-length".to_string(), len.to_string());
+            }
+            let oracle = encode_response_head(&resp);
+            let mut fast = Vec::new();
+            encode_hit_head_into(&mut fast, len, lm);
+            assert_eq!(fast, oracle, "len={len} lm={lm:?}");
+        }
+
+        let oracle = encode_response_head(&Response::status_only(304).with_cache_status(true));
+        let mut fast = Vec::new();
+        encode_not_modified_hit_head_into(&mut fast);
+        assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn reset_parser_reparses_with_retained_buffers() {
+        let mut p = RequestParser::new();
+        let wire = b"GET http://o.test/a HTTP/1.0\r\nif-modified-since: 7\r\n\r\n";
+        assert!(p.feed_complete(wire).unwrap());
+        assert_eq!(p.method(), "GET");
+        assert_eq!(p.target(), "http://o.test/a");
+        assert_eq!(p.if_modified_since(), Some(7));
+        let req = p.take_request();
+        assert_eq!(req.if_modified_since(), Some(7));
+        p.reset();
+        assert_eq!(p.bytes_fed(), 0);
+        let req2 = p.feed(b"GET http://o.test/b HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req2.unwrap().target, "http://o.test/b");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+mod bufpool;
 pub mod cache_proxy;
 mod conn;
 pub mod fault;

@@ -38,11 +38,13 @@
 //!   are shared code, not a reimplementation — and post completions
 //!   back through an `eventfd`.
 
+use crate::bufpool::BufPool;
 use crate::cache_proxy::{
     begin_request, finalize_response, proxy_get_at, try_serve_fresh_hit, ProxyConfig, ProxyState,
 };
 use crate::conn::{Conn, ConnState, Event};
-use crate::http::{Request, Response};
+use crate::http::{Request, RequestParser, Response};
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io;
@@ -86,6 +88,15 @@ const EPOLL_CLOEXEC: i32 = 0o2000000;
 const EFD_CLOEXEC: i32 = 0o2000000;
 const EFD_NONBLOCK: i32 = 0o4000;
 
+/// One segment of a vectored write: field-compatible with `struct iovec`
+/// from `<sys/uio.h>` (`iov_base`, `iov_len`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct IoVec {
+    base: *const u8,
+    len: usize,
+}
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -93,7 +104,38 @@ extern "C" {
     fn eventfd(initval: u32, flags: i32) -> i32;
     fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
     fn close(fd: i32) -> i32;
+}
+
+/// Vectored write of two segments (response head, then body) in one
+/// syscall — the kernel copies from both without the segments ever being
+/// concatenated in user space. Empty segments are skipped at the iovec
+/// level. Returns the kernel's (possibly short) byte count; callers
+/// resume from wherever it landed (see `conn::write_segments`).
+pub(crate) fn write_two(fd: RawFd, a: &[u8], b: &[u8]) -> io::Result<usize> {
+    let mut iov = [IoVec {
+        base: std::ptr::null(),
+        len: 0,
+    }; 2];
+    let mut cnt = 0usize;
+    for seg in [a, b] {
+        if !seg.is_empty() {
+            iov[cnt] = IoVec {
+                base: seg.as_ptr(),
+                len: seg.len(),
+            };
+            cnt += 1;
+        }
+    }
+    if cnt == 0 {
+        return Ok(0);
+    }
+    let n = unsafe { writev(fd, iov.as_ptr(), cnt as i32) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
 }
 
 /// A readiness queue: the thinnest safe wrapper over the three epoll
@@ -242,7 +284,7 @@ struct Slab {
 }
 
 impl Slab {
-    fn insert(&mut self, stream: TcpStream) -> u64 {
+    fn insert(&mut self, stream: TcpStream, parser: RequestParser, head: Vec<u8>) -> u64 {
         let idx = match self.free.pop() {
             Some(idx) => idx,
             None => {
@@ -252,7 +294,7 @@ impl Slab {
             }
         };
         let gen = self.gens[idx];
-        self.slots[idx] = Some(Conn::new(stream, gen));
+        self.slots[idx] = Some(Conn::new(stream, gen, parser, head));
         self.live += 1;
         pack_token(idx, gen)
     }
@@ -315,7 +357,10 @@ impl Wheel {
             .min(Duration::from_millis(250));
         let slots = (2 * read_timeout.as_millis() / granularity.as_millis().max(1) + 2) as usize;
         Wheel {
-            slots: vec![Vec::new(); slots.max(4)],
+            // Pre-capacitied slots: a slot's first few entries must not
+            // allocate, or the allocator sneaks back onto the hit path
+            // every time the cursor laps a previously-unused slot.
+            slots: (0..slots.max(4)).map(|_| Vec::with_capacity(32)).collect(),
             granularity,
             cursor: 0,
             entries: 0,
@@ -341,19 +386,22 @@ impl Wheel {
         self.entries += 1;
     }
 
-    /// Drain every slot the clock has passed, returning candidate
-    /// tokens. The caller checks each candidate's actual deadline and
-    /// either expires it or hands it back via [`Wheel::schedule`].
-    fn advance(&mut self, now: Instant) -> Vec<u64> {
+    /// Drain every slot the clock has passed into `fired` (cleared
+    /// first), leaving candidate tokens. The caller checks each
+    /// candidate's actual deadline and either expires it or hands it
+    /// back via [`Wheel::schedule`]. Taking the output buffer as a
+    /// parameter lets the event loop reuse one scratch `Vec` forever
+    /// instead of allocating a fresh one per loop iteration.
+    fn advance_into(&mut self, now: Instant, fired: &mut Vec<u64>) {
+        fired.clear();
         let target = self.tick_of(now);
-        let mut fired = Vec::new();
         while self.cursor < target {
             self.cursor += 1;
             let slot = (self.cursor % self.slots.len() as u64) as usize;
-            fired.append(&mut self.slots[slot]);
+            fired.extend_from_slice(&self.slots[slot]);
+            self.slots[slot].clear();
         }
         self.entries -= fired.len();
-        fired
     }
 
     /// How long `epoll_wait` may sleep before the next slot is due;
@@ -516,6 +564,8 @@ impl Reactor {
                     shutdown,
                     slab: Slab::default(),
                     wheel: Wheel::new(config.read_timeout),
+                    pool: BufPool::new(),
+                    fired_scratch: Vec::new(),
                     config,
                     state,
                 };
@@ -555,8 +605,32 @@ struct EventLoop {
     shutdown: Arc<AtomicBool>,
     slab: Slab,
     wheel: Wheel,
+    /// Free-list of parser/head buffers cycled through connections, so a
+    /// warmed loop accepts and serves without heap allocation.
+    pool: BufPool,
+    /// Reused output buffer for [`Wheel::advance_into`].
+    fired_scratch: Vec<u64>,
     config: ProxyConfig,
     state: Arc<ProxyState>,
+}
+
+/// What the event loop decided to do with a parsed request head, computed
+/// under the connection borrow and acted on after it ends (the actions
+/// re-borrow the slab and, for hits, consume the body).
+enum FastOutcome {
+    /// Malformed or unsupported request: answer this status and close.
+    Reject(u16),
+    /// Fresh cache hit served inline — the zero-copy path.
+    Hit {
+        body: Bytes,
+        last_modified: Option<u64>,
+        /// Downstream conditional GET where our copy is not newer:
+        /// answer a bodyless `304` (same conversion as
+        /// `finalize_response`, done inline so no `Response` is built).
+        not_modified: bool,
+    },
+    /// Miss/expired/contended: hand the request to the worker pool.
+    Dispatch { url: UrlId, now: u64 },
 }
 
 impl EventLoop {
@@ -602,7 +676,8 @@ impl EventLoop {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
-                    let token = self.slab.insert(stream);
+                    let (parser, head) = (self.pool.get_parser(), self.pool.get_head());
+                    let token = self.slab.insert(stream, parser, head);
                     let conn = self.slab.get(token).expect("freshly inserted");
                     let fd = conn.stream.as_raw_fd();
                     if self.epoll.add(fd, EPOLLIN, token).is_err() {
@@ -640,16 +715,14 @@ impl EventLoop {
             self.close_conn(token);
             return;
         }
-        if events & EPOLLIN != 0 {
-            if let ConnState::Reading(_) = conn.state {
-                match conn.on_readable() {
-                    Event::Continue => self.arm_deadline(token),
-                    Event::Request(req) => self.handle_request(token, req),
-                    Event::Reject(status) => self.respond(token, Response::status_only(status)),
-                    Event::Done => self.close_conn(token),
-                }
-                return;
+        if events & EPOLLIN != 0 && matches!(conn.state, ConnState::Reading) {
+            match conn.on_readable() {
+                Event::Continue => self.arm_deadline(token),
+                Event::Request => self.handle_request(token),
+                Event::Reject(status) => self.respond(token, Response::status_only(status)),
+                Event::Done => self.close_conn(token),
             }
+            return;
         }
         if events & EPOLLOUT != 0 {
             let Some(conn) = self.slab.get(token) else {
@@ -663,48 +736,108 @@ impl EventLoop {
         }
     }
 
-    /// A parsed request: validate, try the inline fast path, otherwise
-    /// dispatch to the worker pool (shedding with `503` when full).
-    fn handle_request(&mut self, token: u64, req: Request) {
-        if req.method != "GET" {
-            self.respond(token, Response::status_only(501));
-            return;
-        }
-        if !req.target.starts_with("http://") {
-            self.respond(token, Response::status_only(400));
-            return;
-        }
-        let (url, now) = begin_request(&self.state, &req.target);
-        if let Some(resp) = try_serve_fresh_hit(&self.config, &self.state, &req.target, url, now) {
-            self.respond(token, finalize_response(&req, resp));
-            return;
-        }
-        if let Some(conn) = self.slab.get(token) {
-            conn.state = ConnState::Dispatched;
-            conn.deadline = None;
-            // Stop watching readability: with level-triggered epoll,
-            // leftover pipelined bytes would otherwise spin the loop.
-            let fd = conn.stream.as_raw_fd();
-            let _ = self.epoll.modify(fd, 0, token);
-        }
-        if let Err(_job) = self.jobs.try_push(Job {
-            token,
-            req,
-            url,
-            now,
-        }) {
-            self.state.count_rejected();
-            self.respond(token, Response::status_only(503));
+    /// A parsed request head (still inside the connection's parser —
+    /// nothing has been allocated for it): validate, try the inline fast
+    /// path, otherwise materialise a [`Request`] and dispatch to the
+    /// worker pool (shedding with `503` when full).
+    fn handle_request(&mut self, token: u64) {
+        // Decide under one connection borrow; act after it ends.
+        let outcome = {
+            let Some(conn) = self.slab.get(token) else {
+                return;
+            };
+            if conn.parser.method() != "GET" {
+                FastOutcome::Reject(501)
+            } else if !conn.parser.target().starts_with("http://") {
+                FastOutcome::Reject(400)
+            } else {
+                let (url, now) = begin_request(&self.state, conn.parser.target());
+                match try_serve_fresh_hit(&self.config, &self.state, conn.parser.target(), url, now)
+                {
+                    Some((body, last_modified)) => {
+                        // Inline replica of `finalize_response`'s only
+                        // applicable arm (status is always 200 here): a
+                        // conditional GET whose copy is not newer gets a
+                        // bodyless 304 that still counts as a hit.
+                        let not_modified = conn
+                            .parser
+                            .if_modified_since()
+                            .is_some_and(|since| last_modified.is_some_and(|lm| lm <= since));
+                        FastOutcome::Hit {
+                            body,
+                            last_modified,
+                            not_modified,
+                        }
+                    }
+                    None => FastOutcome::Dispatch { url, now },
+                }
+            }
+        };
+        match outcome {
+            FastOutcome::Reject(status) => self.respond(token, Response::status_only(status)),
+            FastOutcome::Hit {
+                body,
+                last_modified,
+                not_modified,
+            } => {
+                let Some(conn) = self.slab.get(token) else {
+                    return;
+                };
+                if not_modified {
+                    conn.start_not_modified_hit();
+                } else {
+                    conn.start_hit(body, last_modified);
+                }
+                self.flush_response(token);
+            }
+            FastOutcome::Dispatch { url, now } => {
+                let Some(req) = self.dispatch_prepare(token) else {
+                    return;
+                };
+                if let Err(_job) = self.jobs.try_push(Job {
+                    token,
+                    req,
+                    url,
+                    now,
+                }) {
+                    self.state.count_rejected();
+                    self.respond(token, Response::status_only(503));
+                }
+            }
         }
     }
 
-    /// Queue a response on the connection and start draining it,
-    /// falling back to `EPOLLOUT` if the socket buffer fills.
+    /// Move a connection into the Dispatched state and build the owned
+    /// [`Request`] a worker thread needs. The miss path allocates here —
+    /// method/target clones and the moved header map — which is fine:
+    /// a miss's cost is dominated by the origin round trip.
+    fn dispatch_prepare(&mut self, token: u64) -> Option<Request> {
+        let conn = self.slab.get(token)?;
+        let req = conn.take_request();
+        conn.state = ConnState::Dispatched;
+        conn.deadline = None;
+        // Stop watching readability: with level-triggered epoll,
+        // leftover pipelined bytes would otherwise spin the loop.
+        let fd = conn.stream.as_raw_fd();
+        let _ = self.epoll.modify(fd, 0, token);
+        Some(req)
+    }
+
+    /// Queue a response on the connection and start draining it.
     fn respond(&mut self, token: u64, resp: Response) {
         let Some(conn) = self.slab.get(token) else {
             return;
         };
         conn.start_response(&resp);
+        self.flush_response(token);
+    }
+
+    /// Drain whatever response the connection has queued, falling back
+    /// to `EPOLLOUT` if the socket buffer fills.
+    fn flush_response(&mut self, token: u64) {
+        let Some(conn) = self.slab.get(token) else {
+            return;
+        };
         match conn.on_writable() {
             Event::Done => self.close_conn(token),
             _ => {
@@ -737,7 +870,11 @@ impl EventLoop {
     /// answer); a client stalled mid-response is dropped.
     fn expire_deadlines(&mut self) {
         let now = Instant::now();
-        for token in self.wheel.advance(now) {
+        // Take/put-back keeps one scratch Vec alive across iterations so
+        // steady-state ticks do not allocate.
+        let mut fired = std::mem::take(&mut self.fired_scratch);
+        self.wheel.advance_into(now, &mut fired);
+        for &token in &fired {
             let Some(conn) = self.slab.get(token) else {
                 continue; // connection already closed: entry is stale
             };
@@ -745,7 +882,7 @@ impl EventLoop {
             match conn.deadline {
                 None => {} // dispatched: origin timeouts bound this phase
                 Some(d) if d <= now => match conn.state {
-                    ConnState::Reading(_) => {
+                    ConnState::Reading => {
                         // One best-effort shot at the 504 — the client
                         // is stalled, not necessarily reading.
                         conn.start_response(&Response::status_only(504));
@@ -762,12 +899,17 @@ impl EventLoop {
                 }
             }
         }
+        self.fired_scratch = fired;
     }
 
     fn close_conn(&mut self, token: u64) {
         if let Some(conn) = self.slab.remove(token) {
             self.epoll.del(conn.stream.as_raw_fd());
-            // Dropping the stream closes the socket.
+            // Dropping the stream closes the socket; the parser and head
+            // buffer go back to the pool for the next accept.
+            let (parser, head) = conn.recycle();
+            self.pool.put_parser(parser);
+            self.pool.put_head(head);
         }
     }
 }
@@ -794,13 +936,13 @@ mod tests {
         let mut slab = Slab::default();
         let _c1 = TcpStream::connect(addr).unwrap();
         let (s1, _) = listener.accept().unwrap();
-        let t1 = slab.insert(s1);
+        let t1 = slab.insert(s1, RequestParser::new(), Vec::new());
         assert!(slab.get(t1).is_some());
         slab.remove(t1).unwrap();
         // Recycle the slot with a new connection.
         let _c2 = TcpStream::connect(addr).unwrap();
         let (s2, _) = listener.accept().unwrap();
-        let t2 = slab.insert(s2);
+        let t2 = slab.insert(s2, RequestParser::new(), Vec::new());
         assert_eq!(unpack_token(t1).0, unpack_token(t2).0, "slot recycled");
         assert!(slab.get(t1).is_none(), "old token must not resolve");
         assert!(slab.get(t2).is_some());
@@ -811,16 +953,18 @@ mod tests {
     fn wheel_fires_after_the_deadline_not_before() {
         let mut wheel = Wheel::new(Duration::from_millis(160));
         let t0 = wheel.start;
+        let mut fired = Vec::new();
         wheel.schedule(42, t0 + Duration::from_millis(100));
         assert_eq!(
             wheel.next_timeout(t0).map(|d| d.as_millis() > 0),
             Some(true)
         );
         // Nothing fires while the deadline is ahead.
-        assert!(wheel.advance(t0 + Duration::from_millis(50)).is_empty());
+        wheel.advance_into(t0 + Duration::from_millis(50), &mut fired);
+        assert!(fired.is_empty());
         // Past the deadline the entry surfaces (possibly one tick late,
         // never early beyond wheel granularity).
-        let fired = wheel.advance(t0 + Duration::from_millis(200));
+        wheel.advance_into(t0 + Duration::from_millis(200), &mut fired);
         assert_eq!(fired, vec![42]);
         assert_eq!(wheel.entries, 0);
         assert!(wheel
@@ -832,12 +976,13 @@ mod tests {
     fn wheel_clamps_far_deadlines_into_its_horizon() {
         let mut wheel = Wheel::new(Duration::from_millis(20));
         let t0 = wheel.start;
+        let mut fired = Vec::new();
         // A deadline far past the horizon still lands in a slot…
         wheel.schedule(7, t0 + Duration::from_secs(3600));
         assert_eq!(wheel.entries, 1);
         // …and surfaces when the clock passes that slot, where the
         // caller's deadline check walks it forward.
-        let fired = wheel.advance(t0 + Duration::from_millis(200));
+        wheel.advance_into(t0 + Duration::from_millis(200), &mut fired);
         assert_eq!(fired, vec![7]);
     }
 }

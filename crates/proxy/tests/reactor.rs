@@ -154,6 +154,12 @@ fn dispatch_overload_sheds_with_503() {
         .map(|i| {
             let addr = proxy.addr();
             std::thread::spawn(move || {
+                // Stagger arrivals well inside the 400 ms origin delay:
+                // request 0 must reach the worker (and request 1 the
+                // queue) before 2 and 3 arrive, otherwise all four can
+                // land in one epoll batch before the worker wakes and
+                // three get shed instead of two (a long-standing flake).
+                std::thread::sleep(Duration::from_millis(60 * i));
                 let mut s = TcpStream::connect(addr).unwrap();
                 let url = format!("http://o.test/doc{i}.html");
                 http::write_request(&mut s, &Request::get(&url)).unwrap();
