@@ -181,6 +181,20 @@ pub struct CacheState {
     pub policy_state: Vec<u8>,
 }
 
+/// How [`Cache::restore_state_lenient`] reinstated a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// Resident set restored and the opaque policy bytes imported exactly.
+    Imported,
+    /// Resident set restored; the policy rejected the opaque bytes (e.g.
+    /// the set was reduced by quarantine) and keeps its replayed
+    /// insertion-order state instead.
+    Replayed,
+    /// Structural mismatch — the cache is unspecified and must be
+    /// discarded.
+    Failed,
+}
+
 /// A single-level proxy cache with a pluggable removal policy.
 ///
 /// Generic over its resident-set container (`S`); the default
@@ -493,6 +507,43 @@ impl<S: DocStore> Cache<S> {
         true
     }
 
+    /// Like [`Cache::restore_state`], but tolerant of policy-state
+    /// rejection: the resident set is always reinstated (each document
+    /// replayed through `on_insert`, which fully rebuilds every taxonomy
+    /// policy's rank order), and the opaque policy bytes are applied
+    /// opportunistically on top. Crash recovery needs this split because
+    /// a quarantined (corrupt-on-disk) document shrinks the resident set,
+    /// which makes an exact-match importer such as GreedyDual-Size's
+    /// reject the exported bytes — a warm cache with insertion-order rank
+    /// state beats discarding the whole shard.
+    ///
+    /// [`RestoreOutcome::Failed`] is only returned for structural
+    /// inconsistency (cache not empty, capacity mismatch, resident bytes
+    /// over capacity); the cache must then be discarded, exactly as with
+    /// a `false` from `restore_state`. Importers must validate before
+    /// mutating (all in-tree ones do), so `Replayed` leaves the policy in
+    /// its clean replayed-on-insert state.
+    pub fn restore_state_lenient(&mut self, state: &CacheState) -> RestoreOutcome {
+        if !self.docs.is_empty() || self.used != 0 || self.capacity != state.capacity {
+            return RestoreOutcome::Failed;
+        }
+        for m in &state.docs {
+            self.docs.insert(*m);
+            self.used += m.size;
+            self.policy.on_insert(m);
+        }
+        if self.used > self.capacity {
+            return RestoreOutcome::Failed;
+        }
+        self.stats = state.stats;
+        self.current_day = state.current_day;
+        if self.policy.import_state(&state.policy_state) {
+            RestoreOutcome::Imported
+        } else {
+            RestoreOutcome::Replayed
+        }
+    }
+
     /// Internal consistency check used by tests: accounted bytes equal the
     /// sum of resident sizes, within capacity, and the policy tracks
     /// exactly the resident set.
@@ -725,6 +776,33 @@ mod tests {
         let mut ok = lru_cache(100);
         assert!(ok.restore_state(&snap));
         assert!(ok.contains(UrlId(1)));
+    }
+
+    #[test]
+    fn lenient_restore_replays_when_policy_state_rejected() {
+        // GreedyDual-Size rejects an export describing a larger resident
+        // set (the quarantine case); lenient restore keeps the replayed
+        // resident set instead of failing outright.
+        let mut full = Cache::new(2000, Box::new(crate::policy::GreedyDualSize::new()));
+        full.request(&req(0, 1, 10));
+        full.request(&req(1, 2, 20));
+        let mut snap = full.export_state();
+        // Quarantine doc 2: the doc list shrinks but the opaque policy
+        // bytes still describe both documents.
+        snap.docs.retain(|m| m.url != UrlId(2));
+        let mut back = Cache::new(2000, Box::new(crate::policy::GreedyDualSize::new()));
+        assert_eq!(back.restore_state_lenient(&snap), RestoreOutcome::Replayed);
+        back.check_invariants();
+        assert!(back.contains(UrlId(1)));
+        assert!(!back.contains(UrlId(2)));
+        // An untouched snapshot imports exactly.
+        let snap = full.export_state();
+        let mut exact = Cache::new(2000, Box::new(crate::policy::GreedyDualSize::new()));
+        assert_eq!(exact.restore_state_lenient(&snap), RestoreOutcome::Imported);
+        exact.check_invariants();
+        // Structural mismatch still fails.
+        let mut wrong = Cache::new(100, Box::new(crate::policy::GreedyDualSize::new()));
+        assert_eq!(wrong.restore_state_lenient(&snap), RestoreOutcome::Failed);
     }
 
     #[test]

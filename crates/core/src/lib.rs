@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod lifecycle;
 pub mod policy;
 pub mod sim;
 pub mod util;

@@ -1,0 +1,88 @@
+//! Process-wide stop flag and SIGINT/SIGTERM handlers.
+//!
+//! Extracted from `experiments::lifecycle` so every long-running binary in
+//! the workspace — the experiments sweep driver and the standalone caching
+//! proxy — shares one flag and one handler installation. Sweeps poll the
+//! flag between request strides to flush a final checkpoint; the proxy
+//! polls it to flush its journal and write a final cache snapshot before
+//! exiting, so a `kill` (SIGTERM) or Ctrl-C never loses the warm working
+//! set.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide stop flag raised by the SIGINT/SIGTERM handler.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// True once a termination signal has been received.
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::SeqCst)
+}
+
+/// Raise the stop flag by hand (tests; equivalent to receiving SIGINT).
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Clear the stop flag. Only meaningful for tests and harnesses that
+/// outlive an interrupted run within one process; a signalled CLI run
+/// exits instead.
+pub fn reset_stop() {
+    STOP.store(false, Ordering::SeqCst);
+}
+
+/// The flag itself, for callers that need to hand a `&'static AtomicBool`
+/// into a polling loop (e.g. `sim::run_resumable`'s stop parameter).
+pub fn stop_flag() -> &'static AtomicBool {
+    &STOP
+}
+
+#[cfg(unix)]
+mod signals {
+    use super::STOP;
+    use std::sync::atomic::Ordering;
+
+    // Raw libc signal(2) binding: the workspace deliberately vendors no
+    // libc crate, and installing a flag-setting handler needs only this
+    // one symbol. Write access to a static AtomicBool is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers that raise the stop flag so in-flight
+/// work flushes its final checkpoint/snapshot and exits cleanly. No-op off
+/// Unix.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    signals::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_flag_round_trip() {
+        reset_stop();
+        assert!(!stop_requested());
+        request_stop();
+        assert!(stop_requested());
+        assert!(stop_flag().load(std::sync::atomic::Ordering::SeqCst));
+        reset_stop();
+        assert!(!stop_requested());
+    }
+}

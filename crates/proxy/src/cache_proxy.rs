@@ -33,14 +33,15 @@
 use crate::fault::splitmix64;
 use crate::http::HttpError;
 use crate::http::{self, Request, Response};
+use crate::persist::{self, JournalOp, PersistConfig, PersistError};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
-use std::time::Duration;
-use webcache_core::cache::{DocMeta, Outcome, ShardedCache};
+use std::time::{Duration, Instant};
+use webcache_core::cache::{CacheState, DocMeta, Outcome, RestoreOutcome, ShardedCache};
 use webcache_core::policy::RemovalPolicy;
 use webcache_trace::{ClientId, DocType, Interner, ServerId, UrlId};
 
@@ -342,6 +343,18 @@ enum FetchError {
     Exhausted { timed_out: bool },
 }
 
+/// Per-shard buffer of journal records awaiting the persister's next
+/// drain. Sequence numbers are assigned here, under the shard lock, so
+/// records for one shard are totally ordered.
+#[derive(Debug)]
+struct JournalBuf {
+    /// Records not yet handed to the persister thread.
+    pending: Vec<(u64, JournalOp)>,
+    /// Next sequence number to assign (starts at 1; replay treats
+    /// `seq <= snapshot.seq` as already covered).
+    next_seq: u64,
+}
+
 /// Per-shard proxy sidecar, guarded by the owning shard's lock: body
 /// bytes and fetch times for the documents resident in that shard.
 #[derive(Debug, Default)]
@@ -349,6 +362,21 @@ struct ShardExt {
     bodies: HashMap<UrlId, Bytes>,
     /// Fetch time per resident document (for TTL freshness).
     fetched_at: HashMap<UrlId, u64>,
+    /// Journal buffer — `Some` only when the proxy was started with
+    /// persistence ([`ProxyServer::start_persistent`]). `None` keeps the
+    /// non-persistent hit path allocation-free.
+    journal: Option<Box<JournalBuf>>,
+}
+
+impl ShardExt {
+    /// Record a cache mutation for the journal; no-op without persistence.
+    fn log_op(&mut self, op: JournalOp) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            let seq = j.next_seq;
+            j.next_seq += 1;
+            j.pending.push((seq, op));
+        }
+    }
 }
 
 /// Shared proxy state. The cache path locks only the owning shard; the
@@ -453,6 +481,32 @@ pub struct ProxyServer {
     addr: SocketAddr,
     state: Arc<ProxyState>,
     backend: Backend,
+    /// Background persister, when started via
+    /// [`ProxyServer::start_persistent`]. Stopped (with a final journal
+    /// flush and snapshot) after the backend drains on drop.
+    persist: Option<PersistRuntime>,
+    recovered: Option<RecoveryReport>,
+}
+
+/// Handle to the background persister thread.
+struct PersistRuntime {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+/// What [`ProxyServer::start_persistent`] rebuilt from disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Documents resident after recovery (snapshot docs with verified
+    /// bodies, plus journal-replayed inserts, minus replayed evictions).
+    pub docs: u64,
+    /// Bytes resident in the cache after recovery.
+    pub bytes: u64,
+    /// Journal records replayed on top of the snapshots.
+    pub replayed: u64,
+    /// Snapshot documents dropped because their body was missing,
+    /// truncated, or failed its checksum — these become misses.
+    pub quarantined: u64,
 }
 
 /// The running serving engine behind a [`ProxyServer`].
@@ -490,30 +544,111 @@ impl ProxyServer {
         );
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ProxyState {
-            cache: ShardedCache::new(config.capacity, config.shards, policy),
-            interner: Mutex::new(Interner::new()),
-            stats: AtomicProxyStats::default(),
-            now: AtomicU64::new(0),
-            breakers: Mutex::new(HashMap::new()),
-            jitter_seq: AtomicU64::new(0),
-            worker_jobs: AtomicU64::new(0),
-            log: Mutex::new(Vec::new()),
-        });
-        let backend = match config.backend {
-            ServingBackend::Threaded => start_threaded(listener, origin, config, &state),
-            ServingBackend::Reactor => Backend::Reactor(crate::reactor::Reactor::start(
-                listener,
-                origin,
-                config,
-                Arc::clone(&state),
-            )?),
-        };
+        let state = new_state(&config, policy);
+        let backend = start_backend(listener, origin, config, &state)?;
         Ok(ProxyServer {
             addr,
             state,
             backend,
+            persist: None,
+            recovered: None,
         })
+    }
+
+    /// Start a proxy with crash-safe persistence: recover the warm cache
+    /// from `persist_cfg.dir` (newest valid snapshots plus journal
+    /// replay, bodies checksum-verified), then serve while a background
+    /// persister journals every cache mutation (group-fsynced every
+    /// [`PersistConfig::journal_fsync`]) and takes a point-in-time
+    /// snapshot every [`PersistConfig::snapshot_interval`]. Dropping the
+    /// server flushes the journal and takes a final snapshot.
+    ///
+    /// Recovery never fails: corrupt or torn files only make the restart
+    /// colder, and every degradation is reported on stdout.
+    ///
+    /// # Panics
+    ///
+    /// As [`ProxyServer::start`].
+    pub fn start_persistent(
+        origin: SocketAddr,
+        config: ProxyConfig,
+        persist_cfg: PersistConfig,
+        policy: impl FnMut() -> Box<dyn RemovalPolicy>,
+    ) -> Result<ProxyServer, PersistError> {
+        assert!(
+            config.workers > 0,
+            "worker pool must have at least one thread"
+        );
+        assert!(
+            config.queue_depth > 0,
+            "connection queue must hold at least one connection"
+        );
+        std::fs::create_dir_all(&persist_cfg.dir)?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = new_state(&config, policy);
+        let nshards = state.cache.shard_count();
+
+        // Recover before serving: the cache is warm by the time the
+        // first connection is accepted.
+        let rec = persist::recover(&persist_cfg.dir, nshards as u32);
+        let report = apply_recovery(&state, &rec);
+
+        // Install journal buffers (sequence numbers continue above
+        // everything already on disk) and reopen the journals for
+        // appending, truncating any torn tail replay ignored.
+        let mut writers = Vec::with_capacity(nshards);
+        for s in 0..nshards {
+            let jr = &rec.journals[s];
+            let snap_seq = rec.shards[s].as_ref().map(|r| r.snap.seq).unwrap_or(0);
+            let max_seq = jr.ops.last().map(|(seq, _)| *seq).unwrap_or(0);
+            let next_seq = snap_seq.max(max_seq) + 1;
+            state.cache.with_shard(s, |_, ext| {
+                ext.journal = Some(Box::new(JournalBuf {
+                    pending: Vec::new(),
+                    next_seq,
+                }));
+            });
+            writers.push(persist::JournalWriter::open_append(
+                &persist_cfg.dir,
+                s as u32,
+                jr.valid_len,
+            )?);
+        }
+        println!(
+            "webcache-proxy: recovered {} document(s) ({} bytes) from {}: replayed {} journal record(s), quarantined {}",
+            report.docs,
+            report.bytes,
+            persist_cfg.dir.display(),
+            report.replayed,
+            report.quarantined,
+        );
+        for note in &rec.notes {
+            println!("webcache-proxy: recovery note: {note}");
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let cfg = persist_cfg.clone();
+            let gen = rec.max_gen + 1;
+            std::thread::spawn(move || persister_loop(&state, &cfg, writers, gen, &stop))
+        };
+
+        let backend = start_backend(listener, origin, config, &state)?;
+        Ok(ProxyServer {
+            addr,
+            state,
+            backend,
+            persist: Some(PersistRuntime { stop, thread }),
+            recovered: Some(report),
+        })
+    }
+
+    /// What recovery rebuilt from disk, when started with persistence.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovered
     }
 
     /// The proxy's socket address.
@@ -556,6 +691,41 @@ impl ProxyServer {
             Backend::Reactor(_) => ServingBackend::Reactor,
         }
     }
+}
+
+/// Build the shared proxy state for a fresh (cold) proxy.
+fn new_state(
+    config: &ProxyConfig,
+    policy: impl FnMut() -> Box<dyn RemovalPolicy>,
+) -> Arc<ProxyState> {
+    Arc::new(ProxyState {
+        cache: ShardedCache::new(config.capacity, config.shards, policy),
+        interner: Mutex::new(Interner::new()),
+        stats: AtomicProxyStats::default(),
+        now: AtomicU64::new(0),
+        breakers: Mutex::new(HashMap::new()),
+        jitter_seq: AtomicU64::new(0),
+        worker_jobs: AtomicU64::new(0),
+        log: Mutex::new(Vec::new()),
+    })
+}
+
+/// Start the configured serving engine on an already-bound listener.
+fn start_backend(
+    listener: TcpListener,
+    origin: SocketAddr,
+    config: ProxyConfig,
+    state: &Arc<ProxyState>,
+) -> std::io::Result<Backend> {
+    Ok(match config.backend {
+        ServingBackend::Threaded => start_threaded(listener, origin, config, state),
+        ServingBackend::Reactor => Backend::Reactor(crate::reactor::Reactor::start(
+            listener,
+            origin,
+            config,
+            Arc::clone(state),
+        )?),
+    })
 }
 
 /// Start the original threaded front end: an acceptor feeding a bounded
@@ -634,6 +804,424 @@ impl Drop for ProxyServer {
                 }
             }
             Backend::Reactor(reactor) => reactor.shutdown(),
+        }
+        // The backend has drained: no worker can log another journal op.
+        // Now stop the persister — it drains the remaining records,
+        // fsyncs, and takes a final snapshot before exiting.
+        if let Some(p) = self.persist.take() {
+            p.stop.store(true, Ordering::SeqCst);
+            let _ = p.thread.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: background persister and recovery application
+// ---------------------------------------------------------------------------
+
+fn log_persist_error(context: &str, e: &PersistError) {
+    eprintln!("webcache-proxy: persist: {context}: {e}");
+}
+
+/// The background persister: drains per-shard journal buffers every tick,
+/// group-fsyncs on [`PersistConfig::journal_fsync`], snapshots on
+/// [`PersistConfig::snapshot_interval`], and — once `stop` is raised —
+/// performs a final drain + fsync + snapshot before exiting. Shard locks
+/// are held only for the drain/export critical sections; all file I/O
+/// happens with no lock held, so the serving hit path never waits on the
+/// disk.
+fn persister_loop(
+    state: &Arc<ProxyState>,
+    cfg: &PersistConfig,
+    mut writers: Vec<persist::JournalWriter>,
+    mut gen: u64,
+    stop: &AtomicBool,
+) {
+    let tick = cfg
+        .journal_fsync
+        .min(cfg.snapshot_interval)
+        .clamp(Duration::from_millis(1), Duration::from_millis(50));
+    let mut last_sync = Instant::now();
+    let mut last_snap = Instant::now();
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+        drain_pending(state, &mut writers);
+        if stopping || last_sync.elapsed() >= cfg.journal_fsync {
+            for w in &mut writers {
+                if let Err(e) = w.sync() {
+                    log_persist_error("journal sync", &e);
+                }
+            }
+            last_sync = Instant::now();
+        }
+        if stopping || last_snap.elapsed() >= cfg.snapshot_interval {
+            if let Err(e) = take_snapshot(state, cfg, &mut writers, gen) {
+                log_persist_error("snapshot", &e);
+            }
+            // Monotonic even after a partial failure: a retry must never
+            // reuse a generation some file may already carry.
+            gen += 1;
+            last_snap = Instant::now();
+        }
+        if stopping {
+            break;
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// Move every shard's buffered journal records to its writer (append
+/// only — durability comes from the caller's group fsync).
+fn drain_pending(state: &Arc<ProxyState>, writers: &mut [persist::JournalWriter]) {
+    for (s, w) in writers.iter_mut().enumerate() {
+        let pending = state
+            .cache
+            .with_shard(s, |_, ext| match ext.journal.as_deref_mut() {
+                Some(j) if !j.pending.is_empty() => std::mem::take(&mut j.pending),
+                _ => Vec::new(),
+            });
+        if !pending.is_empty() {
+            if let Err(e) = w.append(&pending) {
+                log_persist_error("journal append", &e);
+            }
+        }
+    }
+}
+
+/// One shard's state captured under its lock for snapshotting.
+struct CapturedShard {
+    snap_seq: u64,
+    cs: CacheState,
+    fetched: Vec<u64>,
+    bodies: Vec<Bytes>,
+}
+
+/// Write one consistent generation: per-shard snapshots plus the URL
+/// table, then rotate the journals. Crash-ordering argument:
+///
+/// 1. Records drained during capture (all `seq <= snap_seq`) are
+///    appended *before* the snapshot that supersedes them — a crash
+///    before the snapshot commits still replays them from the journal.
+/// 2. The URL table is dumped *after* every shard capture; it is
+///    append-only in the writing process, so every id a snapshot
+///    references is below the table's length.
+/// 3. Snapshot files are written atomically (tmp + fsync + rename), so
+///    recovery sees either the old or the new generation, never a torn
+///    one.
+/// 4. Journals rotate only after every snapshot of this generation is
+///    durable; every record dropped has `seq <= snap_seq`, which replay
+///    skips anyway — a crash between commit and rotation is harmless.
+fn take_snapshot(
+    state: &Arc<ProxyState>,
+    cfg: &PersistConfig,
+    writers: &mut [persist::JournalWriter],
+    gen: u64,
+) -> Result<(), PersistError> {
+    let nshards = writers.len();
+    let mut caps = Vec::with_capacity(nshards);
+    for (s, w) in writers.iter_mut().enumerate() {
+        let (pending, cap) = state.cache.with_shard(s, |cache, ext| {
+            let (pending, snap_seq) = match ext.journal.as_deref_mut() {
+                Some(j) => (std::mem::take(&mut j.pending), j.next_seq - 1),
+                None => (Vec::new(), 0),
+            };
+            let cs = cache.export_state();
+            let fetched = cs
+                .docs
+                .iter()
+                .map(|m| ext.fetched_at.get(&m.url).copied().unwrap_or(0))
+                .collect();
+            let bodies = cs
+                .docs
+                .iter()
+                .map(|m| ext.bodies.get(&m.url).cloned().unwrap_or_default())
+                .collect();
+            (
+                pending,
+                CapturedShard {
+                    snap_seq,
+                    cs,
+                    fetched,
+                    bodies,
+                },
+            )
+        });
+        w.append(&pending)?;
+        caps.push(cap);
+    }
+    // Dump the URL table after the captures (see ordering note above).
+    let urls: Vec<String> = {
+        let interner = state.interner.lock();
+        (0..interner.url_count())
+            .map(|i| {
+                interner
+                    .url_text(UrlId(i as u32))
+                    .unwrap_or_default()
+                    .to_string()
+            })
+            .collect()
+    };
+    let now = state.now.load(Ordering::SeqCst);
+    persist::write_interner(&cfg.dir, gen, now, &urls)?;
+    for (s, cap) in caps.iter().enumerate() {
+        let docs = cap
+            .cs
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| persist::SnapshotDoc {
+                meta: *m,
+                url: urls.get(m.url.0 as usize).cloned().unwrap_or_default(),
+                fetched_at: cap.fetched[i],
+                body: cap.bodies[i].clone(),
+            })
+            .collect();
+        persist::write_shard_snapshot(
+            &cfg.dir,
+            &persist::ShardSnapshot {
+                shard: s as u32,
+                nshards: nshards as u32,
+                gen,
+                seq: cap.snap_seq,
+                now,
+                capacity: cap.cs.capacity,
+                current_day: cap.cs.current_day,
+                stats: cap.cs.stats,
+                policy_state: cap.cs.policy_state.clone(),
+                docs,
+            },
+        )?;
+    }
+    for w in writers.iter_mut() {
+        w.sync()?;
+        w.rotate()?;
+    }
+    persist::gc_old_generations(&cfg.dir, nshards as u32, gen);
+    Ok(())
+}
+
+/// Reinstate recovered snapshots + journals into a freshly built (empty)
+/// [`ProxyState`]. Never fails: anything that cannot be applied is
+/// skipped, leaving those documents as cache misses.
+fn apply_recovery(state: &Arc<ProxyState>, rec: &persist::RecoveredData) -> RecoveryReport {
+    let nshards = state.cache.shard_count();
+    let mut report = RecoveryReport {
+        quarantined: rec.shards.iter().flatten().map(|r| r.quarantined).sum(),
+        ..RecoveryReport::default()
+    };
+
+    // Re-intern the persisted URL table in order: on this fresh interner
+    // ids are assigned sequentially, so a surviving table maps every old
+    // id to itself. Snapshot documents carry their URL text as well,
+    // covering a lost or truncated table.
+    let mut id_map: HashMap<u32, UrlId> = HashMap::new();
+    {
+        let mut interner = state.interner.lock();
+        if let Some(urls) = &rec.interner {
+            for (i, u) in urls.iter().enumerate() {
+                id_map.insert(i as u32, interner.url(u));
+            }
+        }
+        for rs in rec.shards.iter().flatten() {
+            for d in &rs.snap.docs {
+                id_map
+                    .entry(d.meta.url.0)
+                    .or_insert_with(|| interner.url(&d.url));
+            }
+        }
+    }
+
+    // Policy rank state and per-shard stats are expressed in the writing
+    // process's ids; they transfer only when every document keeps its id
+    // and the shard layout is unchanged. Otherwise the policy order is
+    // rebuilt by replaying inserts ([`Cache::restore_state_lenient`]).
+    let identity = rec.shards.iter().flatten().all(|rs| {
+        rs.snap.nshards as usize == nshards
+            && rs
+                .snap
+                .docs
+                .iter()
+                .all(|d| id_map.get(&d.meta.url.0) == Some(&UrlId(d.meta.url.0)))
+    });
+
+    // Route every verified document to the shard its (new) id hashes to.
+    let mut per_shard: Vec<Vec<(DocMeta, u64, Bytes)>> = (0..nshards).map(|_| Vec::new()).collect();
+    for rs in rec.shards.iter().flatten() {
+        for d in &rs.snap.docs {
+            let Some(&new_id) = id_map.get(&d.meta.url.0) else {
+                continue;
+            };
+            let mut meta = d.meta;
+            meta.url = new_id;
+            per_shard[state.cache.shard_index(new_id)].push((meta, d.fetched_at, d.body.clone()));
+        }
+    }
+
+    let mut max_now = rec
+        .shards
+        .iter()
+        .flatten()
+        .map(|rs| rs.snap.now)
+        .max()
+        .unwrap_or(0);
+
+    for (s, mut docs) in per_shard.into_iter().enumerate() {
+        if docs.is_empty() {
+            continue;
+        }
+        let capacity = state.cache.per_shard_capacity();
+        // A changed shard layout can overfill a shard: shed the least
+        // recently used documents until the snapshot fits.
+        let mut total: u64 = docs.iter().map(|(m, _, _)| m.size).sum();
+        if total > capacity {
+            docs.sort_by_key(|(m, _, _)| std::cmp::Reverse(m.last_access));
+            while total > capacity {
+                let Some((m, _, _)) = docs.pop() else { break };
+                total -= m.size;
+            }
+        }
+        docs.sort_by_key(|(m, _, _)| m.url.0);
+        let old = if identity {
+            rec.shards[s].as_ref()
+        } else {
+            None
+        };
+        let cache_state = CacheState {
+            capacity,
+            current_day: old.map(|rs| rs.snap.current_day).unwrap_or(0),
+            stats: old.map(|rs| rs.snap.stats).unwrap_or_default(),
+            docs: docs.iter().map(|(m, _, _)| *m).collect(),
+            policy_state: old
+                .map(|rs| rs.snap.policy_state.clone())
+                .unwrap_or_default(),
+        };
+        state.cache.with_shard(s, |cache, ext| {
+            if cache.restore_state_lenient(&cache_state) == RestoreOutcome::Failed {
+                return;
+            }
+            for (m, fetched, body) in &docs {
+                ext.bodies.insert(m.url, body.clone());
+                ext.fetched_at.insert(m.url, *fetched);
+            }
+        });
+    }
+
+    // Replay journal records newer than each shard's snapshot, in append
+    // order. Ids are resolved through the same map; an `Insert` extends
+    // it (the record carries its URL text).
+    for (old_shard, jr) in rec.journals.iter().enumerate() {
+        let snap_seq = rec
+            .shards
+            .get(old_shard)
+            .and_then(|o| o.as_ref())
+            .map(|r| r.snap.seq)
+            .unwrap_or(0);
+        for (seq, op) in &jr.ops {
+            if *seq <= snap_seq {
+                continue;
+            }
+            max_now = max_now.max(apply_journal_op(state, op, &mut id_map));
+            report.replayed += 1;
+        }
+    }
+
+    report.bytes = state.cache.used();
+    report.docs = (0..nshards)
+        .map(|s| state.cache.with_shard(s, |cache, _| cache.len() as u64))
+        .sum();
+    if max_now > 0 {
+        state.now.store(max_now, Ordering::SeqCst);
+    }
+    report
+}
+
+/// Apply one replayed journal record; returns the record's clock stamp
+/// (0 when it carries none) so recovery can restore the logical clock.
+fn apply_journal_op(
+    state: &Arc<ProxyState>,
+    op: &JournalOp,
+    id_map: &mut HashMap<u32, UrlId>,
+) -> u64 {
+    match op {
+        JournalOp::Insert {
+            old_id,
+            url,
+            now,
+            size,
+            doc_type,
+            last_modified,
+            fetched_at,
+            body,
+        } => {
+            // The frame checksum already covered the body; the length
+            // check is belt-and-braces against a logic bug upstream.
+            if body.len() as u64 != *size {
+                return *now;
+            }
+            let new_id = *id_map
+                .entry(*old_id)
+                .or_insert_with(|| state.interner.lock().url(url));
+            state.cache.with_shard_for(new_id, |cache, ext| {
+                let r = webcache_trace::Request {
+                    time: *now,
+                    client: ClientId(0),
+                    server: ServerId(0),
+                    url: new_id,
+                    size: *size,
+                    doc_type: *doc_type,
+                    last_modified: *last_modified,
+                };
+                match cache.request(&r) {
+                    Outcome::Hit => {
+                        ext.bodies.insert(new_id, body.clone());
+                    }
+                    Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
+                        for m in evicted {
+                            ext.bodies.remove(&m.url);
+                            ext.fetched_at.remove(&m.url);
+                        }
+                        ext.bodies.insert(new_id, body.clone());
+                        ext.fetched_at.insert(new_id, *fetched_at);
+                    }
+                    Outcome::MissTooBig => {}
+                }
+            });
+            *now
+        }
+        JournalOp::Touch { old_id, now, size } => {
+            if let Some(&new_id) = id_map.get(old_id) {
+                state.cache.with_shard_for(new_id, |cache, ext| {
+                    let Some(meta) = cache.meta(new_id).copied() else {
+                        return;
+                    };
+                    if meta.size != *size {
+                        return;
+                    }
+                    let body = ext.bodies.get(&new_id).cloned().unwrap_or_default();
+                    touch_resident_in(cache, ext, new_id, "", &meta, &body, *now);
+                });
+            }
+            *now
+        }
+        JournalOp::Evict { old_id } => {
+            if let Some(&new_id) = id_map.get(old_id) {
+                state.cache.with_shard_for(new_id, |cache, ext| {
+                    cache.remove(new_id);
+                    ext.bodies.remove(&new_id);
+                    ext.fetched_at.remove(&new_id);
+                });
+            }
+            0
+        }
+        JournalOp::Refresh { old_id, fetched_at } => {
+            if let Some(&new_id) = id_map.get(old_id) {
+                state.cache.with_shard_for(new_id, |cache, ext| {
+                    if cache.contains(new_id) {
+                        ext.fetched_at.insert(new_id, *fetched_at);
+                    }
+                });
+            }
+            *fetched_at
         }
     }
 }
@@ -874,7 +1462,7 @@ pub(crate) fn try_serve_fresh_hit(
             return None;
         }
         let body = ext.bodies.get(&url).cloned().unwrap_or_default();
-        touch_resident_in(cache, ext, url, &meta, &body, now);
+        touch_resident_in(cache, ext, url, target, &meta, &body, now);
         Some((meta, body))
     })??;
     AtomicProxyStats::add(&state.stats.hits, 1);
@@ -911,7 +1499,7 @@ pub(crate) fn proxy_get_at(
             .ttl
             .is_none_or(|ttl| now.saturating_sub(fetched) <= ttl);
         if fresh {
-            touch_resident_in(cache, ext, url, &meta, &body, now);
+            touch_resident_in(cache, ext, url, target, &meta, &body, now);
         }
         Some((meta, body, fresh))
     });
@@ -940,6 +1528,10 @@ pub(crate) fn proxy_get_at(
                 AtomicProxyStats::add(&state.stats.revalidated, 1);
                 state.cache.with_shard_for(url, |_, ext| {
                     ext.fetched_at.insert(url, now);
+                    ext.log_op(JournalOp::Refresh {
+                        old_id: url.0,
+                        fetched_at: now,
+                    });
                 });
                 record_cache_hit(state, url, &meta, &body, target, now, config.access_log);
                 Response::ok(body, meta.last_modified).with_cache_status(true)
@@ -960,7 +1552,7 @@ pub(crate) fn proxy_get_at(
                 // are reported separately in `stale_serves`.
                 AtomicProxyStats::add(&state.stats.stale_serves, 1);
                 AtomicProxyStats::add(&state.stats.bytes_from_cache, meta.size);
-                touch_resident(state, url, &meta, &body, now);
+                touch_resident(state, url, target, &meta, &body, now);
                 if config.access_log {
                     state.log.lock().push(format!(
                         "client - - [t{now}] \"GET {target} HTTP/1.0\" 200 {} STALE",
@@ -991,19 +1583,28 @@ pub(crate) fn proxy_get_at(
 /// sees it. Tolerates losing a race with an eviction between the peek
 /// and this touch: the cache request then re-inserts the copy being
 /// served, and its body is restored alongside.
-fn touch_resident(state: &Arc<ProxyState>, url: UrlId, meta: &DocMeta, body: &Bytes, now: u64) {
+fn touch_resident(
+    state: &Arc<ProxyState>,
+    url: UrlId,
+    target: &str,
+    meta: &DocMeta,
+    body: &Bytes,
+    now: u64,
+) {
     state.cache.with_shard_for(url, |cache, ext| {
-        touch_resident_in(cache, ext, url, meta, body, now)
+        touch_resident_in(cache, ext, url, target, meta, body, now)
     });
 }
 
 /// [`touch_resident`]'s body, for callers already holding the owning
 /// shard's guard (the reactor's fast path touches under the same
 /// `try_lock` it peeked with, so peek and touch are one atomic step).
+#[allow(clippy::too_many_arguments)]
 fn touch_resident_in(
     cache: &mut webcache_core::cache::Cache,
     ext: &mut ShardExt,
     url: UrlId,
+    target: &str,
     meta: &DocMeta,
     body: &Bytes,
     now: u64,
@@ -1018,14 +1619,31 @@ fn touch_resident_in(
         last_modified: meta.last_modified,
     };
     match cache.request(&r) {
-        Outcome::Hit => {}
+        Outcome::Hit => {
+            ext.log_op(JournalOp::Touch {
+                old_id: url.0,
+                now,
+                size: meta.size,
+            });
+        }
         Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
             for m in evicted {
                 ext.bodies.remove(&m.url);
                 ext.fetched_at.remove(&m.url);
+                ext.log_op(JournalOp::Evict { old_id: m.url.0 });
             }
             ext.bodies.insert(url, body.clone());
-            ext.fetched_at.entry(url).or_insert(now);
+            let fetched = *ext.fetched_at.entry(url).or_insert(now);
+            ext.log_op(JournalOp::Insert {
+                old_id: url.0,
+                url: target.to_string(),
+                now,
+                size: meta.size,
+                doc_type: meta.doc_type,
+                last_modified: meta.last_modified,
+                fetched_at: fetched,
+                body: body.clone(),
+            });
         }
         Outcome::MissTooBig => {}
     }
@@ -1044,7 +1662,7 @@ fn record_cache_hit(
     now: u64,
     log: bool,
 ) {
-    touch_resident(state, url, meta, body, now);
+    touch_resident(state, url, target, meta, body, now);
     AtomicProxyStats::add(&state.stats.hits, 1);
     AtomicProxyStats::add(&state.stats.bytes_from_cache, meta.size);
     if log {
@@ -1083,14 +1701,35 @@ fn store_and_serve(
                 // Same URL and size already cached (raced with another
                 // thread); just refresh the body.
                 ext.bodies.insert(url, origin_resp.body.clone());
+                ext.log_op(JournalOp::Insert {
+                    old_id: url.0,
+                    url: target.to_string(),
+                    now,
+                    size,
+                    doc_type: DocType::classify(target),
+                    last_modified,
+                    fetched_at: ext.fetched_at.get(&url).copied().unwrap_or(now),
+                    body: origin_resp.body.clone(),
+                });
             }
             Outcome::Miss { evicted } | Outcome::MissModified { evicted } => {
                 for meta in evicted {
                     ext.bodies.remove(&meta.url);
                     ext.fetched_at.remove(&meta.url);
+                    ext.log_op(JournalOp::Evict { old_id: meta.url.0 });
                 }
                 ext.bodies.insert(url, origin_resp.body.clone());
                 ext.fetched_at.insert(url, now);
+                ext.log_op(JournalOp::Insert {
+                    old_id: url.0,
+                    url: target.to_string(),
+                    now,
+                    size,
+                    doc_type: DocType::classify(target),
+                    last_modified,
+                    fetched_at: now,
+                    body: origin_resp.body.clone(),
+                });
             }
             Outcome::MissTooBig => {
                 // Larger than a shard's capacity: pass through uncached.

@@ -3,7 +3,8 @@
 //! A [`FaultyOrigin`] is a TCP shim that sits between the proxy and a real
 //! [`crate::origin::OriginServer`] (or any HTTP/1.0 upstream) and injects
 //! failures according to a seeded [`FaultPlan`]: refused connections,
-//! fixed delays, mid-body stalls, truncated bodies, and `5xx` responses.
+//! fixed delays, mid-body stalls, truncated bodies, `5xx` responses, and
+//! sustained-slow (dribbled) bodies.
 //! Because the plan is a pure function of `(seed, connection index)`,
 //! tests can precompute exactly which connections will fail
 //! ([`FaultPlan::schedule`]) and assert the proxy's degradation counters
@@ -38,16 +39,23 @@ pub enum FaultKind {
     TruncateBody,
     /// Answer `503 Service Unavailable` without consulting the upstream.
     ServerError,
+    /// Latency degradation rather than failure: serve the complete,
+    /// correct response, but dribble the body out in small chunks spread
+    /// over [`FaultPlan::slow_for`] — a congested or overloaded origin.
+    /// Kept under the proxy's read timeout, the transfer succeeds but
+    /// each affected miss pays the sustained slow-path cost.
+    SlowBody,
 }
 
 impl FaultKind {
     /// Every fault kind, in cumulative-probability order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::RefuseConnect,
         FaultKind::Delay,
         FaultKind::StallMidBody,
         FaultKind::TruncateBody,
         FaultKind::ServerError,
+        FaultKind::SlowBody,
     ];
 }
 
@@ -68,7 +76,7 @@ pub(crate) use webcache_core::util::splitmix64;
 pub struct FaultPlan {
     seed: u64,
     /// Probability of each kind, indexed as [`FaultKind::ALL`].
-    rates: [f64; 5],
+    rates: [f64; 6],
     /// Only connections in `[active_from, active_to)` are faulted.
     active_from: u64,
     active_to: u64,
@@ -76,6 +84,9 @@ pub struct FaultPlan {
     pub delay_for: Duration,
     /// Hold time for [`FaultKind::StallMidBody`].
     pub stall_for: Duration,
+    /// Total dribble time for [`FaultKind::SlowBody`] — the body is
+    /// spread evenly over this window.
+    pub slow_for: Duration,
 }
 
 impl FaultPlan {
@@ -83,11 +94,12 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
-            rates: [0.0; 5],
+            rates: [0.0; 6],
             active_from: 0,
             active_to: u64::MAX,
             delay_for: Duration::from_millis(5),
             stall_for: Duration::from_millis(200),
+            slow_for: Duration::from_millis(40),
         }
     }
 
@@ -131,6 +143,14 @@ impl FaultPlan {
     /// Answer a fraction `p` of requests with `503`.
     pub fn server_error(self, p: f64) -> FaultPlan {
         self.rate(FaultKind::ServerError, p)
+    }
+
+    /// Slow a fraction `p` of responses: the full body still arrives,
+    /// dribbled evenly over `total`. Keep `total` under the proxy's read
+    /// timeout to model sustained degradation rather than failure.
+    pub fn slow_body(mut self, p: f64, total: Duration) -> FaultPlan {
+        self.slow_for = total;
+        self.rate(FaultKind::SlowBody, p)
     }
 
     /// Restrict faults to connections `from..to` (half-open), e.g. to
@@ -184,6 +204,8 @@ pub struct FaultStats {
     pub truncated: AtomicU64,
     /// Requests answered `503` without reaching the upstream.
     pub server_errors: AtomicU64,
+    /// Responses served complete but dribbled slowly.
+    pub slowed: AtomicU64,
     /// Connections proxied through untouched.
     pub passed: AtomicU64,
 }
@@ -196,6 +218,7 @@ impl FaultStats {
             + self.stalled.load(Ordering::Relaxed)
             + self.truncated.load(Ordering::Relaxed)
             + self.server_errors.load(Ordering::Relaxed)
+            + self.slowed.load(Ordering::Relaxed)
     }
 }
 
@@ -334,6 +357,27 @@ fn serve_faulty(
             stream.write_all(&http::encode_response_head(&resp))?;
             stream.write_all(&resp.body[..resp.body.len() / 2])?;
             stream.flush()?;
+            Ok(())
+        }
+        Some(FaultKind::SlowBody) => {
+            stats.slowed.fetch_add(1, Ordering::Relaxed);
+            let req = http::read_request(stream)?;
+            let resp = forward(upstream, &req)?;
+            // Head promptly, then the body in small chunks paced so the
+            // whole transfer spans `slow_for`: every byte arrives and the
+            // response is correct, just slow. Per-chunk pauses stay well
+            // under any sane read timeout, so this degrades latency
+            // without tripping the failure paths.
+            stream.write_all(&http::encode_response_head(&resp))?;
+            stream.flush()?;
+            let chunks = 8usize.min(resp.body.len().max(1));
+            let pause = plan.slow_for / chunks as u32;
+            let chunk_len = resp.body.len().div_ceil(chunks);
+            for chunk in resp.body.chunks(chunk_len.max(1)) {
+                std::thread::sleep(pause);
+                stream.write_all(chunk)?;
+                stream.flush()?;
+            }
             Ok(())
         }
         None => {

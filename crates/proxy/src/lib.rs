@@ -21,10 +21,15 @@
 //!   a readiness-driven reactor (epoll event loop owning every client
 //!   socket non-blocking; workers only ever see complete requests, so
 //!   slow clients pin buffers, not threads).
+//! * [`persist`] — crash-safe cache persistence: per-shard snapshots +
+//!   append-only journals with checksummed frames, giving a SIGKILLed
+//!   proxy a warm restart that recovers its working set (quarantining —
+//!   never serving — corrupt bodies).
 //! * [`fault`] — a deterministic fault-injection shim
 //!   ([`fault::FaultyOrigin`]) that sits between proxy and origin and
-//!   injects refused connections, delays, stalls, truncations, and `5xx`
-//!   errors according to a seeded [`fault::FaultPlan`].
+//!   injects refused connections, delays, stalls, truncations, `5xx`
+//!   errors, and sustained-slow bodies according to a seeded
+//!   [`fault::FaultPlan`].
 //!
 //! Integration tests at the workspace root drive generated workload
 //! traces through a real proxy/origin pair and check the hit counts match
@@ -39,8 +44,10 @@ mod conn;
 pub mod fault;
 pub mod http;
 pub mod origin;
+pub mod persist;
 mod reactor;
 
-pub use cache_proxy::{ProxyConfig, ProxyServer, ProxyStats, ServingBackend};
+pub use cache_proxy::{ProxyConfig, ProxyServer, ProxyStats, RecoveryReport, ServingBackend};
 pub use fault::{FaultKind, FaultPlan, FaultyOrigin};
 pub use origin::{DocStore, OriginServer};
+pub use persist::{PersistConfig, PersistError};

@@ -1,0 +1,171 @@
+//! `webcache-proxy` — the caching proxy as a standalone process.
+//!
+//! Binds an ephemeral port (printed on stdout as
+//! `webcache-proxy: listening on <addr>` so a driver can connect),
+//! forwards misses to `--origin`, and optionally persists the cache
+//! crash-safely under `--persist-dir` (snapshots + append-only journal;
+//! a SIGKILLed process warm-restarts from disk). SIGINT/SIGTERM shut
+//! down gracefully: the journal is flushed and a final snapshot taken.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+use webcache_core::policy::{named, RemovalPolicy};
+use webcache_proxy::{PersistConfig, ProxyConfig, ProxyServer, ServingBackend};
+
+const USAGE: &str = "\
+usage: webcache-proxy --origin ADDR [options]
+
+  --origin ADDR          origin server address (required), e.g. 127.0.0.1:8080
+  --capacity BYTES       total cache capacity            [default: 1048576]
+  --shards N             shard count (power of two)      [default: 8]
+  --workers N            worker threads                  [default: 4]
+  --backend NAME         threaded | reactor              [default: threaded]
+  --ttl TICKS            freshness lifetime in logical ticks (omit: no TTL)
+  --policy NAME          removal policy (lru, size, lfu, fifo, hyper-g)
+                                                         [default: size]
+  --persist-dir PATH     enable crash-safe persistence into PATH
+  --snapshot-interval MS snapshot cadence in milliseconds [default: 2000]
+  --journal-fsync MS     journal group-fsync interval     [default: 25]
+";
+
+struct Args {
+    origin: SocketAddr,
+    config: ProxyConfig,
+    policy: String,
+    persist: Option<PersistConfig>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("webcache-proxy: {msg}");
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut origin: Option<SocketAddr> = None;
+    let mut capacity: u64 = 1 << 20;
+    let mut shards: usize = 8;
+    let mut workers: usize = 4;
+    let mut backend = ServingBackend::Threaded;
+    let mut ttl: Option<u64> = None;
+    let mut policy = String::from("size");
+    let mut persist_dir: Option<PathBuf> = None;
+    let mut snapshot_interval = Duration::from_millis(2000);
+    let mut journal_fsync = Duration::from_millis(25);
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let Some(value) = it.next() else {
+            die(&format!("{flag} needs a value"));
+        };
+        match flag.as_str() {
+            "--origin" => match value.parse() {
+                Ok(a) => origin = Some(a),
+                Err(_) => die(&format!("bad --origin address: {value}")),
+            },
+            "--capacity" => match value.parse() {
+                Ok(v) => capacity = v,
+                Err(_) => die(&format!("bad --capacity: {value}")),
+            },
+            "--shards" => match value.parse() {
+                Ok(v) => shards = v,
+                Err(_) => die(&format!("bad --shards: {value}")),
+            },
+            "--workers" => match value.parse() {
+                Ok(v) => workers = v,
+                Err(_) => die(&format!("bad --workers: {value}")),
+            },
+            "--backend" => match ServingBackend::parse(&value) {
+                Some(b) => backend = b,
+                None => die(&format!("bad --backend: {value}")),
+            },
+            "--ttl" => match value.parse() {
+                Ok(v) => ttl = Some(v),
+                Err(_) => die(&format!("bad --ttl: {value}")),
+            },
+            "--policy" => policy = value,
+            "--persist-dir" => persist_dir = Some(PathBuf::from(value)),
+            "--snapshot-interval" => match value.parse() {
+                Ok(ms) => snapshot_interval = Duration::from_millis(ms),
+                Err(_) => die(&format!("bad --snapshot-interval: {value}")),
+            },
+            "--journal-fsync" => match value.parse() {
+                Ok(ms) => journal_fsync = Duration::from_millis(ms),
+                Err(_) => die(&format!("bad --journal-fsync: {value}")),
+            },
+            _ => die(&format!("unknown flag: {flag}")),
+        }
+    }
+
+    let Some(origin) = origin else {
+        die("--origin is required");
+    };
+    if named::by_name(&policy).is_none() {
+        die(&format!("unknown --policy: {policy}"));
+    }
+    let mut config = ProxyConfig::new(capacity)
+        .with_shards(shards)
+        .with_workers(workers, workers.max(4) * 8)
+        .with_backend(backend);
+    config.ttl = ttl;
+    Args {
+        origin,
+        config,
+        policy,
+        persist: persist_dir.map(|dir| {
+            PersistConfig::new(dir)
+                .with_snapshot_interval(snapshot_interval)
+                .with_journal_fsync(journal_fsync)
+        }),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let policy_name = args.policy.clone();
+    let make_policy = move || -> Box<dyn RemovalPolicy> {
+        named::by_name(&policy_name).unwrap_or_else(|| Box::new(named::size()))
+    };
+
+    let server = match args.persist {
+        Some(persist) => {
+            match ProxyServer::start_persistent(args.origin, args.config, persist, make_policy) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("webcache-proxy: failed to start: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => match ProxyServer::start(args.origin, args.config, make_policy) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("webcache-proxy: failed to start: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    // The driver (loadgen, tests, CI) parses this line for the port.
+    println!("webcache-proxy: listening on {}", server.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    webcache_core::lifecycle::install_signal_handlers();
+    while !webcache_core::lifecycle::stop_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Graceful shutdown: drain the backend, flush the journal, take the
+    // final snapshot (all inside ProxyServer's Drop).
+    let stats = server.stats();
+    drop(server);
+    println!(
+        "webcache-proxy: shutdown complete ({} requests, {} hits)",
+        stats.requests, stats.hits
+    );
+}

@@ -347,3 +347,48 @@ fn workload_under_mixed_faults_never_fails_cached_documents() {
     );
     assert!(s.stale_serves > 0, "no stale serves exercised — weak test");
 }
+
+/// Sustained-slow origins (`SlowBody`) degrade latency, not correctness:
+/// every dribbled response still arrives complete and byte-correct
+/// through the proxy, misses visibly pay the slow-path cost, and no
+/// failure machinery (retries, breakers, stale serves) trips.
+#[test]
+fn slow_body_degrades_latency_but_never_correctness() {
+    let plan = FaultPlan::new(23).slow_body(1.0, Duration::from_millis(60));
+    let (_origin, faulty, proxy) = single_doc_setup(
+        plan,
+        ProxyConfig::new(1 << 20).with_retries(0, Duration::from_millis(1)),
+    );
+
+    // Cold miss: the fetch crosses the shim, so the dribble window is a
+    // latency floor for the client.
+    let t0 = std::time::Instant::now();
+    let resp = get(&proxy, "http://o.test/a.html");
+    let miss_latency = t0.elapsed();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body.len(), 1000, "slowed body must arrive complete");
+    assert!(!resp.is_cache_hit());
+    assert!(!resp.is_degraded(), "slow is not degraded");
+    assert!(
+        miss_latency >= Duration::from_millis(50),
+        "miss did not pay the dribble window ({miss_latency:?})"
+    );
+
+    // Warm hit: served from cache, untouched by the slow origin.
+    let t1 = std::time::Instant::now();
+    let resp = get(&proxy, "http://o.test/a.html");
+    let hit_latency = t1.elapsed();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body.len(), 1000);
+    assert!(resp.is_cache_hit());
+    assert!(
+        hit_latency < miss_latency,
+        "hit ({hit_latency:?}) should beat the slowed miss ({miss_latency:?})"
+    );
+
+    assert!(faulty.stats().slowed.load(Ordering::Relaxed) > 0);
+    let s = proxy.stats();
+    assert_eq!(s.retries, 0, "slow bodies must not trip retries");
+    assert_eq!(s.origin_failures, 0, "slow bodies are not failures");
+    assert_eq!(s.stale_serves, 0);
+}
